@@ -1,0 +1,82 @@
+// E7 / Figure 3 (paper sections 5.5-5.6): context directories versus name
+// enumeration + per-object query.
+//
+// The paper argues context directories (a readable file of typed
+// description records, fabricated on demand) beat the alternative — listing
+// names and querying each object — because the per-object query "requires
+// an additional operation for each object at considerable cost".  This
+// bench regenerates that comparison as a function of context size, plus the
+// cost the paper concedes: fabricating and shipping records nobody needed.
+#include "bench_util.hpp"
+#include "naming/protocol.hpp"
+
+using namespace v;
+using sim::Co;
+using sim::to_ms;
+
+int main() {
+  bench::headline("E7 / Fig.3",
+                  "context directory read vs enumerate + query-per-object");
+
+  constexpr int kSizes[] = {1, 4, 16, 64, 256};
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  auto& fsh = dom.add_host("fs1");
+  servers::FileServer fs("fs");
+  for (const int n : kSizes) {
+    for (int i = 0; i < n; ++i) {
+      fs.put_file("ctx" + std::to_string(n) + "/file" + std::to_string(i),
+                  "object " + std::to_string(i));
+    }
+  }
+  const auto fs_pid =
+      fsh.spawn("fs", [&](ipc::Process p) { return fs.run(p); });
+
+  struct RowData {
+    int objects;
+    double directory_ms;
+    double queries_ms;
+  };
+  std::vector<RowData> rows;
+  const bool ok = bench::run_client(dom, ws, [&](ipc::Process self)
+                                                  -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fs_pid, naming::kDefaultContext}});
+    for (const int n : kSizes) {
+      const std::string ctx = "ctx" + std::to_string(n);
+
+      // (a) open the context directory and read all records.
+      auto t0 = self.now();
+      auto records = co_await rt.list_context(ctx);
+      const double directory = to_ms(self.now() - t0);
+
+      // (b) the alternative design: use the names from (a) and invoke the
+      // query operation on each object individually.
+      t0 = self.now();
+      for (const auto& rec : records.value()) {
+        const std::string name = ctx + "/" + rec.name;
+        (void)co_await rt.query(name);
+      }
+      const double queries = to_ms(self.now() - t0);
+      rows.push_back({n, directory, queries});
+    }
+  });
+  if (!ok) return 1;
+
+  std::printf("  %-10s %18s %22s %10s\n", "objects", "ctx-directory (ms)",
+              "enumerate+query (ms)", "ratio");
+  for (const auto& r : rows) {
+    std::printf("  %-10d %18.2f %22.2f %9.2fx\n", r.objects, r.directory_ms,
+                r.queries_ms, r.queries_ms / r.directory_ms);
+  }
+  bench::note("");
+  bench::note("shape: per-object queries pay a full message transaction +");
+  bench::note("name interpretation each; the directory ships 4 records per");
+  bench::note("512 B block, so the ratio grows with context size.");
+  bench::note("");
+  bench::note("the concession (section 5.6): a client that wanted ONE");
+  bench::note("object's description still pays for the whole directory —");
+  bench::note("compare row 'objects=256' directory cost against a single");
+  bench::note("query; the paper floats pattern-matching as the fix.");
+  return 0;
+}

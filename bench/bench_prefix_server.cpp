@@ -1,0 +1,107 @@
+// E5 (paper section 6): the context prefix server's footprint and costs.
+// Paper: "4.5 kilobytes of code plus 2.6 kilobytes of data (mostly space
+// reserved for its context directory)".  We report the table's resident
+// size across entry counts, the per-request processing time (the paper's
+// 3.94/3.99 ms delta), and the costs of the optional Add/DeleteContextName
+// operations, including logical (GetPid-at-use) entries.
+#include "bench_util.hpp"
+#include "naming/protocol.hpp"
+
+using namespace v;
+using sim::Co;
+using sim::to_ms;
+
+int main() {
+  bench::headline("E5", "context prefix server: footprint and operation "
+                        "costs");
+
+  // --- footprint ------------------------------------------------------------
+  bench::note("prefix table resident bytes (paper data segment: 2.6 KB):");
+  for (const int entries : {4, 8, 16, 32, 64}) {
+    servers::ContextPrefixServer table("user");
+    for (int i = 0; i < entries; ++i) {
+      table.define("prefix" + std::to_string(i),
+                   {.target = {ipc::ProcessId::make(1, 1),
+                               naming::kDefaultContext}});
+    }
+    std::printf("  %3d entries: %5zu bytes (%.1f bytes/entry)\n", entries,
+                table.table_bytes(),
+                static_cast<double>(table.table_bytes()) / entries);
+  }
+  bench::note("");
+
+  // --- operation costs ---------------------------------------------------------
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  auto& fsh = dom.add_host("fs1");
+  servers::FileServer fs("fs");
+  fs.put_file("data/f.dat", "payload");
+  const auto fs_pid =
+      fsh.spawn("fs", [&](ipc::Process p) { return fs.run(p); });
+  servers::ContextPrefixServer prefixes("user");
+  prefixes.define("data", {.target = {fs_pid, fs.context_of("data")}});
+  servers::ContextPrefixServer::Entry logical;
+  logical.logical = true;
+  logical.service = ipc::ServiceId::kStorageServer;
+  prefixes.define("storage", logical);
+  ws.spawn("prefix-server", [&](ipc::Process p) { return prefixes.run(p); });
+
+  double open_pinned = 0, open_logical = 0, add_ms = 0, del_ms = 0,
+         list_ms = 0;
+  const bool ok = bench::run_client(dom, ws, [&](ipc::Process self)
+                                                  -> Co<void> {
+    auto rt = co_await svc::Rt::attach(
+        self, {fs_pid, naming::kDefaultContext});
+    constexpr int kIters = 40;
+    auto t0 = self.now();
+    for (int i = 0; i < kIters; ++i) {
+      auto opened =
+          co_await rt.open("[data]f.dat", naming::wire::kOpenRead);
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+    open_pinned = to_ms(self.now() - t0) / kIters;
+
+    t0 = self.now();
+    for (int i = 0; i < kIters; ++i) {
+      auto opened = co_await rt.open("[storage]data/f.dat",
+                                     naming::wire::kOpenRead);
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+    open_logical = to_ms(self.now() - t0) / kIters;
+
+    t0 = self.now();
+    for (int i = 0; i < kIters; ++i) {
+      const std::string name = "tmp" + std::to_string(i);
+      const naming::ContextPair target{fs_pid, naming::kDefaultContext};
+      (void)co_await rt.add_prefix(name, target);
+    }
+    add_ms = to_ms(self.now() - t0) / kIters;
+
+    t0 = self.now();
+    auto records = co_await rt.list_context("[]");
+    list_ms = to_ms(self.now() - t0);
+    std::printf("  (prefix context directory lists %zu entries)\n",
+                records.value().size());
+
+    t0 = self.now();
+    for (int i = 0; i < kIters; ++i) {
+      const std::string name = "tmp" + std::to_string(i);
+      (void)co_await rt.delete_prefix(name);
+    }
+    del_ms = to_ms(self.now() - t0) / kIters;
+  });
+  if (!ok) return 1;
+
+  bench::row("open through pinned prefix + close", open_pinned);
+  bench::row("open through LOGICAL prefix (GetPid each use)", open_logical);
+  bench::row("AddContextName", add_ms);
+  bench::row("DeleteContextName", del_ms);
+  bench::row("read the whole prefix context directory", list_ms);
+  bench::note("");
+  bench::note("the logical-entry premium is the per-use GetPid; the paper");
+  bench::note("accepts it to keep generic service names valid across");
+  bench::note("server restarts (section 6).");
+  return 0;
+}

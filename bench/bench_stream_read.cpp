@@ -1,0 +1,66 @@
+// E3 (paper section 3.1): sequential stream reading.  "With a disk
+// delivering a 512 byte page every 15 milliseconds, a file can be read
+// sequentially averaging 17.13 milliseconds per page."
+//
+// Sweeps locality and disk model to expose the shape: disk-bound pipeline
+// with ~2 ms of non-overlapped protocol time per page.
+#include "bench_util.hpp"
+#include "naming/protocol.hpp"
+
+using namespace v;
+using sim::Co;
+using sim::to_ms;
+
+namespace {
+
+double measure_stream(bool remote, servers::DiskModel disk, int pages) {
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  auto& fsh = remote ? dom.add_host("fs1") : ws;
+  servers::FileServer fs("fs", disk, /*register_service=*/false);
+  fs.put_file("seq.dat", std::string(static_cast<std::size_t>(pages + 8) * 512,
+                                     'd'));
+  const auto fs_pid =
+      fsh.spawn("fs", [&](ipc::Process p) { return fs.run(p); });
+  double per_page = -1;
+  const bool ok = bench::run_client(dom, ws, [&](ipc::Process self)
+                                                  -> Co<void> {
+    svc::Rt rt(self,
+               {ipc::ProcessId::invalid(), {fs_pid, naming::kDefaultContext}});
+    auto opened = co_await rt.open("seq.dat", naming::wire::kOpenRead);
+    svc::File f = opened.take();
+    std::vector<std::byte> page(512);
+    for (std::uint32_t b = 0; b < 4; ++b) {  // warm the read-ahead pipeline
+      (void)co_await f.read_block(b, page);
+    }
+    const auto t0 = self.now();
+    for (std::uint32_t b = 4; b < 4 + static_cast<std::uint32_t>(pages);
+         ++b) {
+      (void)co_await f.read_block(b, page);
+    }
+    per_page = to_ms(self.now() - t0) / pages;
+    (void)co_await f.close();
+  });
+  return ok ? per_page : -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("E3", "sequential 512 B page reads (15 ms/page disk)");
+  bench::row("remote server, disk model, steady state",
+             measure_stream(true, servers::DiskModel::kDisk, 32), 17.13);
+  bench::row("local server, disk model",
+             measure_stream(false, servers::DiskModel::kDisk, 32));
+  bench::row("remote server, memory-buffered (no disk)",
+             measure_stream(true, servers::DiskModel::kMemory, 32));
+  bench::row("local server, memory-buffered",
+             measure_stream(false, servers::DiskModel::kMemory, 32));
+  bench::note("");
+  bench::note("shape: with the disk model the stream is disk-bound (>=15 ms)");
+  bench::note("plus ~2 ms non-overlapped protocol time — the paper calls");
+  bench::note("this comparable to highly tuned file-access protocols.");
+  bench::note("Without the disk the same protocol sustains one page per");
+  bench::note("~6 ms remote / ~1.3 ms local.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared plumbing for the reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper
+// (DESIGN.md section 3 maps experiment ids to binaries) by driving the
+// simulated V domain and printing paper-vs-measured rows.  Exit code is
+// non-zero if any simulated process died unexpectedly.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ipc/kernel.hpp"
+#include "naming/types.hpp"
+#include "servers/file_server.hpp"
+#include "servers/prefix_server.hpp"
+#include "svc/runtime.hpp"
+
+namespace v::bench {
+
+inline void headline(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::string& label, double measured_ms,
+                double paper_ms = -1) {
+  if (paper_ms >= 0) {
+    std::printf("  %-44s %9.2f ms   (paper: %7.2f ms, %+5.1f%%)\n",
+                label.c_str(), measured_ms, paper_ms,
+                100.0 * (measured_ms - paper_ms) / paper_ms);
+  } else {
+    std::printf("  %-44s %9.2f ms\n", label.c_str(), measured_ms);
+  }
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Run `body` as a client process on `host` and drain the simulation.
+/// Returns false (and reports) if any process failed.
+inline bool run_client(ipc::Domain& dom, ipc::Host& host,
+                       std::function<sim::Co<void>(ipc::Process)> body) {
+  host.spawn("bench-client", std::move(body));
+  dom.run();
+  if (dom.process_failures() != 0) {
+    std::fprintf(stderr, "BENCH FAILURE: %s\n", dom.first_failure().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace v::bench

@@ -1,0 +1,136 @@
+// A distributed office: files, printing, virtual terminals, TCP
+// connections and ARPA mail — five different kinds of objects behind five
+// different servers, all reached through the SAME five operations (open,
+// read/write, query, remove, list-context).  This is the paper's
+// uniformity claim made runnable, including its extensibility story: the
+// mail server keeps the foreign "user@host" syntax intact.
+#include <cstdio>
+#include <string>
+
+#include "ipc/kernel.hpp"
+#include "naming/protocol.hpp"
+#include "servers/file_server.hpp"
+#include "servers/internet_server.hpp"
+#include "servers/mail_server.hpp"
+#include "servers/prefix_server.hpp"
+#include "servers/printer_server.hpp"
+#include "servers/terminal_server.hpp"
+#include "svc/runtime.hpp"
+
+namespace {
+void say(v::ipc::Process& self, const std::string& text) {
+  std::printf("[%8.2f ms] %s\n", v::sim::to_ms(self.now()), text.c_str());
+}
+std::span<const std::byte> as_span(std::string_view text) {
+  return std::as_bytes(std::span(text.data(), text.size()));
+}
+}  // namespace
+
+int main() {
+  using namespace v;
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws-mann");
+  auto& fsh = dom.add_host("storage1");
+  auto& svh = dom.add_host("services");
+
+  servers::FileServer fs("storage1");
+  fs.put_file("usr/mann/report.ps", std::string(900, 'R'));
+  servers::PrinterServer printer(/*bytes_per_second=*/3000);
+  servers::TerminalServer terminals;
+  servers::InternetServer internet;
+  servers::MailServer mail;
+
+  const auto fs_pid = fsh.spawn("fs", [&](ipc::Process p) {
+    return fs.run(p);
+  });
+  const auto printer_pid = svh.spawn("printer", [&](ipc::Process p) {
+    return printer.run(p);
+  });
+  const auto vt_pid = ws.spawn("vgts", [&](ipc::Process p) {
+    return terminals.run(p);
+  });
+  const auto inet_pid = svh.spawn("inet", [&](ipc::Process p) {
+    return internet.run(p);
+  });
+  const auto mail_pid = svh.spawn("mail", [&](ipc::Process p) {
+    return mail.run(p);
+  });
+
+  servers::ContextPrefixServer prefixes("mann");
+  prefixes.define("home", {.target = {fs_pid, naming::kDefaultContext}});
+  prefixes.define("print", {.target = {printer_pid, naming::kDefaultContext}});
+  prefixes.define("terminals", {.target = {vt_pid, naming::kDefaultContext}});
+  prefixes.define("tcp", {.target = {inet_pid, naming::kDefaultContext}});
+  prefixes.define("mail", {.target = {mail_pid, naming::kDefaultContext}});
+  ws.spawn("prefix-server", [&](ipc::Process p) { return prefixes.run(p); });
+
+  ws.spawn("office-user", [&](ipc::Process self) -> sim::Co<void> {
+    auto rt = co_await svc::Rt::attach(
+        self, {fs_pid, naming::kDefaultContext});
+    constexpr auto kRw = naming::wire::kOpenRead | naming::wire::kOpenWrite |
+                         naming::wire::kOpenCreate;
+
+    say(self, "print a file: copy [home]usr/mann/report.ps to "
+              "[print]report.ps");
+    auto src = co_await rt.open("[home]usr/mann/report.ps",
+                                naming::wire::kOpenRead);
+    auto ps = co_await src.value().read_all();
+    (void)co_await src.value().close();
+    auto job = co_await rt.open("[print]report.ps",
+                                naming::wire::kOpenWrite |
+                                    naming::wire::kOpenCreate);
+    (void)co_await job.value().write_all(ps.value());
+    (void)co_await job.value().close();
+
+    say(self, "open a virtual terminal and type into it");
+    auto vt = co_await rt.open("[terminals]vt01", kRw);
+    (void)co_await vt.value().write_block(0, as_span("% print report.ps\n"));
+    (void)co_await vt.value().close();
+
+    say(self, "open a TCP connection [tcp]su-score.arpa:25 and ping it");
+    auto conn = co_await rt.open("[tcp]su-score.arpa:25", kRw);
+    (void)co_await conn.value().write_block(0, as_span("HELO navajo"));
+    std::vector<std::byte> echo(11);
+    (void)co_await conn.value().read_block(0, echo);
+    (void)co_await conn.value().close();
+
+    say(self, "deliver mail to [mail]cheriton@su-score.ARPA");
+    auto box = co_await rt.open("[mail]cheriton@su-score.ARPA", kRw);
+    (void)co_await box.value().write_block(
+        0, as_span("Report queued on the laser printer."));
+    (void)co_await box.value().close();
+
+    say(self, "ONE list-directory flow over five different servers:");
+    for (const char* ctx :
+         {"[home]usr/mann", "[print]", "[terminals]", "[tcp]", "[mail]"}) {
+      auto records = co_await rt.list_context(ctx);
+      say(self, std::string("  ") + ctx + ":");
+      for (const auto& rec : records.value()) {
+        std::string status;
+        if (rec.type == naming::DescriptorType::kPrintJob) {
+          static const char* kStatus[] = {"queued", "printing", "done"};
+          status = std::string("  [") + kStatus[rec.context_id % 3] + "]";
+        }
+        say(self, "    " + rec.name + "  (" +
+                      std::string(to_string(rec.type)) + ", " +
+                      std::to_string(rec.size) + " bytes)" + status);
+      }
+    }
+
+    say(self, "query the mailbox like any other object:");
+    auto desc = co_await rt.query("[mail]cheriton@su-score.ARPA");
+    say(self, "  " + desc.value().name + ": " +
+                  std::to_string(desc.value().context_id) + " message(s), " +
+                  std::to_string(desc.value().size) + " bytes, owner=" +
+                  desc.value().owner);
+  });
+
+  dom.run();
+  if (dom.process_failures() != 0) {
+    std::fprintf(stderr, "FAILED: %s\n", dom.first_failure().c_str());
+    return 1;
+  }
+  std::printf("distributed_office completed in %.2f simulated ms\n",
+              sim::to_ms(dom.now()));
+  return 0;
+}

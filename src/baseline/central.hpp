@@ -1,0 +1,91 @@
+// The centralized naming model of paper section 2.1 — built as the baseline
+// for the section 2.2 comparison benches (bench_naming_models).
+//
+// A single distinguished name server maps full pathname strings to
+// (server-pid, context-id, leaf) bindings.  Clients resolve names here
+// first, then operate directly on the object's server.  The design exhibits
+// exactly the drawbacks the paper argues about:
+//
+//   * Efficiency: one extra server interaction per fresh lookup.
+//   * Consistency: deleting/renaming an object at its home server leaves a
+//     stale registry entry unless a second update reaches the name server
+//     (no multi-server atomicity here, as in most real systems of the era).
+//   * Reliability: if the name server's host is down, objects that are
+//     perfectly reachable can no longer be named.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "ipc/kernel.hpp"
+#include "msg/message.hpp"
+#include "naming/types.hpp"
+#include "sim/task.hpp"
+
+namespace v::baseline {
+
+// Request codes (non-CSname range 0x03xx; names travel in the read segment
+// with their length at kOffNameLen).
+inline constexpr std::uint16_t kRegisterName = 0x0310;
+inline constexpr std::uint16_t kLookupName = 0x0311;
+inline constexpr std::uint16_t kUnregisterName = 0x0312;
+inline constexpr std::uint16_t kCountNames = 0x0313;
+
+inline constexpr std::size_t kOffNameLen = 2;      // u16 (all requests)
+inline constexpr std::size_t kOffServerPid = 4;    // u32 (register + reply)
+inline constexpr std::size_t kOffContextId = 8;    // u32
+inline constexpr std::size_t kOffLeafLen = 12;     // u16 leaf suffix length
+inline constexpr std::size_t kOffCount = 4;        // u32 (count reply)
+
+/// A registry binding: the object's home context and its leaf name there.
+struct Binding {
+  naming::ContextPair home;
+  std::string leaf;
+};
+
+/// The central name server state.  The process body is run(); keep the
+/// object alive for the domain's lifetime.
+class CentralNameServer {
+ public:
+  sim::Co<void> run(ipc::Process self);
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] ipc::ProcessId pid() const noexcept { return pid_; }
+
+  /// Pre-run bulk population (benchmarks).
+  void preload(std::string name, Binding binding);
+
+ private:
+  std::map<std::string, Binding, std::less<>> table_;
+  ipc::ProcessId pid_;
+};
+
+/// Client-side stubs for the centralized model.
+class CentralClient {
+ public:
+  CentralClient(ipc::Process self, ipc::ProcessId name_server) noexcept
+      : self_(self), name_server_(name_server) {}
+
+  /// Register `name` as naming `binding`.
+  sim::Co<ReplyCode> register_name(std::string_view name,
+                                   const Binding& binding);
+
+  /// Resolve `name` to its binding.  kNoReply when the name server is down.
+  sim::Co<Result<Binding>> lookup(std::string_view name);
+
+  sim::Co<ReplyCode> unregister_name(std::string_view name);
+
+  sim::Co<Result<std::uint32_t>> count();
+
+ private:
+  sim::Co<msg::Message> send_with_name(msg::Message request,
+                                       std::string_view name,
+                                       std::span<std::byte> write_segment);
+
+  ipc::Process self_;
+  ipc::ProcessId name_server_;
+};
+
+}  // namespace v::baseline

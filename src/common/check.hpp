@@ -1,0 +1,22 @@
+// Invariant checks.
+//
+// V_CHECK guards invariants that must hold regardless of build type; a
+// violation is a programming error and throws std::logic_error so tests can
+// observe it and examples fail loudly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace v::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw std::logic_error(std::string("V_CHECK failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+}  // namespace v::detail
+
+#define V_CHECK(expr)                                         \
+  do {                                                        \
+    if (!(expr)) ::v::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace v::log_detail {
+
+LogLevel& threshold() noexcept {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void emit(LogLevel level, std::string_view component, std::string_view text) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(text.size()), text.data());
+}
+
+}  // namespace v::log_detail

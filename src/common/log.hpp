@@ -1,0 +1,56 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging is off by default so tests and benches stay quiet; examples turn
+// on kInfo to narrate what the simulated domain is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace v {
+
+/// Log severity, in increasing order of importance.
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace log_detail {
+LogLevel& threshold() noexcept;
+void emit(LogLevel level, std::string_view component, std::string_view text);
+}  // namespace log_detail
+
+/// Set the global log threshold; messages below it are discarded.
+inline void set_log_level(LogLevel level) noexcept {
+  log_detail::threshold() = level;
+}
+
+/// Current global log threshold.
+inline LogLevel log_level() noexcept { return log_detail::threshold(); }
+
+/// Stream-style log statement:  VLOG(kInfo, "fs") << "opened " << name;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component),
+        enabled_(level >= log_detail::threshold()) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) log_detail::emit(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace v
+
+#define VLOG(level, component) ::v::LogLine(::v::LogLevel::level, component)

@@ -1,0 +1,46 @@
+// Little-endian field packing for fixed-format messages.
+//
+// V request/reply messages are fixed 32-byte records whose interpretation
+// depends on a leading 16-bit code (paper section 3.2).  These helpers
+// read/write the 16- and 32-bit fields of such records without alignment or
+// aliasing hazards.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace v {
+
+/// Write a 16-bit little-endian value at byte offset `off`.
+inline void put_u16(std::span<std::byte> buf, std::size_t off,
+                    std::uint16_t value) noexcept {
+  buf[off] = static_cast<std::byte>(value & 0xff);
+  buf[off + 1] = static_cast<std::byte>((value >> 8) & 0xff);
+}
+
+/// Write a 32-bit little-endian value at byte offset `off`.
+inline void put_u32(std::span<std::byte> buf, std::size_t off,
+                    std::uint32_t value) noexcept {
+  put_u16(buf, off, static_cast<std::uint16_t>(value & 0xffff));
+  put_u16(buf, off + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+/// Read a 16-bit little-endian value at byte offset `off`.
+inline std::uint16_t get_u16(std::span<const std::byte> buf,
+                             std::size_t off) noexcept {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned>(buf[off]) |
+      (static_cast<unsigned>(buf[off + 1]) << 8));
+}
+
+/// Read a 32-bit little-endian value at byte offset `off`.
+inline std::uint32_t get_u32(std::span<const std::byte> buf,
+                             std::size_t off) noexcept {
+  return static_cast<std::uint32_t>(get_u16(buf, off)) |
+         (static_cast<std::uint32_t>(get_u16(buf, off + 2)) << 16);
+}
+
+}  // namespace v

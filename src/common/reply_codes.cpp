@@ -1,0 +1,30 @@
+#include "common/reply_codes.hpp"
+
+namespace v {
+
+std::string_view to_string(ReplyCode code) noexcept {
+  switch (code) {
+    case ReplyCode::kOk: return "OK";
+    case ReplyCode::kNotFound: return "NOT_FOUND";
+    case ReplyCode::kBadArgs: return "BAD_ARGS";
+    case ReplyCode::kNoPermission: return "NO_PERMISSION";
+    case ReplyCode::kIllegalRequest: return "ILLEGAL_REQUEST";
+    case ReplyCode::kBadState: return "BAD_STATE";
+    case ReplyCode::kNoServerResources: return "NO_SERVER_RESOURCES";
+    case ReplyCode::kInvalidContext: return "INVALID_CONTEXT";
+    case ReplyCode::kNotAContext: return "NOT_A_CONTEXT";
+    case ReplyCode::kNameExists: return "NAME_EXISTS";
+    case ReplyCode::kInvalidInstance: return "INVALID_INSTANCE";
+    case ReplyCode::kEndOfFile: return "END_OF_FILE";
+    case ReplyCode::kNoReply: return "NO_REPLY";
+    case ReplyCode::kNotReadable: return "NOT_READABLE";
+    case ReplyCode::kNotWriteable: return "NOT_WRITEABLE";
+    case ReplyCode::kForwardLoop: return "FORWARD_LOOP";
+    case ReplyCode::kNoInverse: return "NO_INVERSE";
+    case ReplyCode::kTimeout: return "TIMEOUT";
+    case ReplyCode::kStaleBinding: return "STALE_BINDING";
+  }
+  return "UNKNOWN_REPLY_CODE";
+}
+
+}  // namespace v

@@ -1,0 +1,49 @@
+// Standard system reply codes.
+//
+// The V-System message standards (paper section 3.2) say every reply message
+// begins with a reply code, "usually one of a set of standard system
+// replies", indicating whether the request succeeded or failed and, in the
+// latter case, the reason.  This is that standard set, extended with the
+// codes the name-handling protocol (section 5) needs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace v {
+
+/// Standard reply codes carried in the first 16-bit field of every reply
+/// message.  Values are stable: they appear in serialized messages.
+enum class ReplyCode : std::uint16_t {
+  kOk = 0,                  ///< Request succeeded.
+  kNotFound = 1,            ///< Named object or component does not exist.
+  kBadArgs = 2,             ///< Malformed request message.
+  kNoPermission = 3,        ///< Operation not permitted on this object.
+  kIllegalRequest = 4,      ///< Server does not implement this request code.
+  kBadState = 5,            ///< Object exists but is in the wrong state.
+  kNoServerResources = 6,   ///< Server out of tables/buffers.
+  kInvalidContext = 7,      ///< Context id is not valid on this server.
+  kNotAContext = 8,         ///< Name resolved to a leaf where a context was
+                            ///< required (e.g. "a/b" where "a" is a file).
+  kNameExists = 9,          ///< AddContextName / create collided.
+  kInvalidInstance = 10,    ///< I/O protocol: no such object instance.
+  kEndOfFile = 11,          ///< I/O protocol: read past last block.
+  kNoReply = 12,            ///< Transport: destination vanished (crash) or
+                            ///< send to a dead/unknown process id.
+  kNotReadable = 13,        ///< I/O protocol: instance cannot be read.
+  kNotWriteable = 14,       ///< I/O protocol: instance cannot be written.
+  kForwardLoop = 15,        ///< Name mapping forwarded too many times.
+  kNoInverse = 16,          ///< Reverse name mapping has no defined result
+                            ///< (paper section 6's "pathological cases").
+  kTimeout = 17,            ///< Operation timed out (group sends).
+  kStaleBinding = 18,       ///< Centralized baseline: registry entry points
+                            ///< at an object that no longer exists.
+};
+
+/// Human-readable name for a reply code (for logs, tests and examples).
+std::string_view to_string(ReplyCode code) noexcept;
+
+/// True when the code denotes success.
+constexpr bool ok(ReplyCode code) noexcept { return code == ReplyCode::kOk; }
+
+}  // namespace v

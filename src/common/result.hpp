@@ -1,0 +1,75 @@
+// Result<T>: a value or a ReplyCode.
+//
+// Domain-level failures in the protocols (name not found, bad context, ...)
+// are expected outcomes, not programming errors, so they travel as values
+// rather than exceptions.  Exceptions are reserved for invariant violations.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/reply_codes.hpp"
+
+namespace v {
+
+/// Outcome of a protocol operation: either a T, or the ReplyCode explaining
+/// why there is no T.  A default-constructed Result is kOk only for
+/// Result<void>-like uses via the Status alias below.
+template <typename T>
+class Result {
+ public:
+  /// Successful result.
+  Result(T value) : code_(ReplyCode::kOk), value_(std::move(value)) {}
+  /// Failed result.  `code` must not be kOk (that would be a success with
+  /// no value, which is a logic error).
+  Result(ReplyCode code) : code_(code) {
+    if (code == ReplyCode::kOk) {
+      throw std::logic_error("Result<T>: kOk without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ReplyCode::kOk; }
+  [[nodiscard]] ReplyCode code() const noexcept { return code_; }
+
+  /// Access the value; throws if the result is a failure.  Use only after
+  /// checking ok(), or in tests where a failure should abort loudly.
+  [[nodiscard]] T& value() {
+    require();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const {
+    require();
+    return *value_;
+  }
+
+  /// Move the value out; throws if the result is a failure.
+  [[nodiscard]] T take() {
+    require();
+    return std::move(*value_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  explicit operator bool() const noexcept { return ok(); }
+
+ private:
+  void require() const {
+    if (!ok()) {
+      throw std::runtime_error("Result: access to failed result: " +
+                               std::string(to_string(code_)));
+    }
+  }
+
+  ReplyCode code_;
+  std::optional<T> value_;
+};
+
+/// Status of an operation with no result value.
+using Status = ReplyCode;
+
+}  // namespace v

@@ -1,0 +1,63 @@
+// The V I/O protocol (paper section 3.2): uniform block-oriented access to
+// file-like objects via object instances.
+//
+// An instance is a temporary object (paper section 4.3): a server-generated
+// 16-bit numeric identifier naming one open file-like object.  Operations:
+//
+//   kCreateInstance  (CSname request, naming/protocol.hpp: open-by-name)
+//   kQueryInstance   instance attributes
+//   kReadInstance    read one block; data MoveTo'd to the client
+//   kWriteInstance   write one block; data MoveFrom'd from the client
+//   kReleaseInstance close
+//
+// Wire layouts for the instance-id based requests and replies.
+#pragma once
+
+#include <cstdint>
+
+#include "msg/message.hpp"
+
+namespace v::io {
+
+/// Temporary-object identifier for an open instance.
+using InstanceId = std::uint16_t;
+
+// --- kCreateInstance reply ----------------------------------------------------
+inline constexpr std::size_t kOffCreateInstance = 2;   // u16 instance id
+inline constexpr std::size_t kOffCreateSize = 4;       // u32 size in bytes
+inline constexpr std::size_t kOffCreateBlock = 8;      // u16 block bytes
+inline constexpr std::size_t kOffCreateFlags = 10;     // u16 readable/writeable
+// Pid of the server that implements the instance.  Open may have been
+// forwarded through several servers; the client learns the final one from
+// the reply ("the pid for a server process is acquired when the file is
+// opened and used subsequently without remapping", paper section 4.2).
+inline constexpr std::size_t kOffCreateServerPid = 12;  // u32
+// Context id (on that server) in which the leaf was interpreted.  Lets
+// clients that opt into name caching remember (server, context) for the
+// directory part of a name — with the consistency hazards paper section
+// 2.2 warns about (see svc/name_cache.hpp).
+inline constexpr std::size_t kOffCreateContextId = 16;  // u32
+
+// --- kQueryInstance / kReadInstance / kWriteInstance / kReleaseInstance -------
+inline constexpr std::size_t kOffInstance = 2;     // u16 instance id (request)
+inline constexpr std::size_t kOffBlock = 4;        // u32 block number
+inline constexpr std::size_t kOffByteCount = 8;    // u16 bytes to read/write
+// Reply to read/write: actual byte count transferred.
+inline constexpr std::size_t kOffXferCount = 2;    // u16
+// Bulk reads can exceed 64 KB - 1; the reply carries the full count here.
+inline constexpr std::size_t kOffXferCountLong = 4;  // u32
+// Reply to query: size/block/flags at the kCreate offsets above.
+
+/// Request byte-count sentinel: read from `block` to end-of-file and
+/// deliver it with a single MoveTo — the V bulk-transfer path used for
+/// program loading (64 KB in one MoveTo, paper section 3.1).
+inline constexpr std::uint16_t kBulkRead = 0xffff;
+
+/// Instance attribute flags (subset of naming descriptor flags).
+enum InstanceFlags : std::uint16_t {
+  kInstanceReadable = 1 << 0,
+  kInstanceWriteable = 1 << 1,
+  kInstanceAppendOnly = 1 << 2,
+};
+
+}  // namespace v::io

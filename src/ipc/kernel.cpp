@@ -1,0 +1,426 @@
+#include "ipc/kernel.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace v::ipc {
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+detail::ProcessRecord& Process::record() const {
+  auto* rec = domain_->find(pid_);
+  V_CHECK(rec != nullptr);
+  return *rec;
+}
+
+std::shared_ptr<sim::FiberState> Process::fiber_state() const {
+  auto& rec = record();
+  return rec.fiber ? rec.fiber->state() : nullptr;
+}
+
+sim::SimTime Process::now() const noexcept { return domain_->now(); }
+
+const CalibrationParams& Process::params() const noexcept {
+  return domain_->params();
+}
+
+sim::DelayAwaiter Process::delay(sim::SimDuration d) const {
+  return sim::DelayAwaiter(domain_->loop(), d, fiber_state());
+}
+
+sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
+                                    Segments segments) {
+  auto& rec = record();
+  V_CHECK(!rec.awaiting_reply);  // V processes have one outstanding send
+  rec.awaiting_reply = true;
+  rec.blocked_on = dest;
+  rec.exposed = segments;
+  ++rec.send_seq;
+  ++domain_->stats_.messages_sent;
+  if (!dest.local_to(host_id())) ++domain_->stats_.remote_messages;
+  domain_->deliver(host_id(), Envelope{pid_, request, segments}, dest);
+  co_await sim::ParkAwaiter(rec.reply_waker, fiber_state());
+  co_return rec.reply;
+}
+
+sim::Co<msg::Message> Process::send_to_group(msg::Message request,
+                                             GroupId group,
+                                             Segments segments) {
+  auto& rec = record();
+  V_CHECK(!rec.awaiting_reply);
+  rec.awaiting_reply = true;
+  rec.blocked_on = ProcessId::invalid();  // no single holder; timeout covers
+  rec.exposed = segments;
+  const auto seq = ++rec.send_seq;
+
+  std::size_t delivered = 0;
+  auto it = domain_->groups_.find(group);
+  if (it != domain_->groups_.end()) {
+    for (ProcessId member : it->second) {
+      if (member == pid_ || !domain_->process_alive(member)) continue;
+      domain_->deliver(host_id(), Envelope{pid_, request, segments}, member,
+                       /*synth_on_dead=*/false);
+      ++delivered;
+    }
+  }
+  // First reply wins; this timeout fires only if nothing answered this send.
+  Domain* dom = domain_;
+  const ProcessId me = pid_;
+  domain_->loop().schedule_after(
+      delivered == 0 ? params().getpid_local : params().group_timeout,
+      [dom, me, seq] {
+        auto* r = dom->find(me);
+        if (r != nullptr && r->alive && r->awaiting_reply &&
+            r->send_seq == seq) {
+          dom->complete_reply(me, msg::make_reply(ReplyCode::kTimeout));
+        }
+      });
+  co_await sim::ParkAwaiter(rec.reply_waker, fiber_state());
+  co_return rec.reply;
+}
+
+sim::Co<Envelope> Process::receive() {
+  auto& rec = record();
+  while (rec.mailbox.empty()) {
+    rec.waiting_receive = true;
+    co_await sim::ParkAwaiter(rec.recv_waker, fiber_state());
+  }
+  Envelope env = std::move(rec.mailbox.front());
+  rec.mailbox.pop_front();
+  co_return env;
+}
+
+void Process::reply(const msg::Message& reply_msg, ProcessId to) {
+  ++domain_->stats_.replies_sent;
+  domain_->deliver_reply(host_id(), reply_msg, to);
+}
+
+void Process::forward(const Envelope& env, ProcessId new_dest) {
+  // "It appears as though the sender originally sent to the third process."
+  ++domain_->stats_.forwards;
+  ++domain_->stats_.messages_sent;
+  if (!new_dest.local_to(host_id())) ++domain_->stats_.remote_messages;
+  domain_->deliver(host_id(),
+                   Envelope{env.sender, env.request, env.segments}, new_dest);
+}
+
+void Process::forward_to_group(const Envelope& env, GroupId group) {
+  ++domain_->stats_.forwards;
+  std::size_t delivered = 0;
+  auto it = domain_->groups_.find(group);
+  if (it != domain_->groups_.end()) {
+    for (ProcessId member : it->second) {
+      if (!domain_->process_alive(member)) continue;
+      domain_->deliver(host_id(),
+                       Envelope{env.sender, env.request, env.segments},
+                       member, /*synth_on_dead=*/false);
+      ++domain_->stats_.messages_sent;
+      if (!member.local_to(host_id())) ++domain_->stats_.remote_messages;
+      ++delivered;
+    }
+  }
+  // Guard the blocked sender against a silent group: if its CURRENT send
+  // is still outstanding after the timeout, answer kTimeout.  The send
+  // sequence number distinguishes this send from any later one.
+  Domain* dom = domain_;
+  const ProcessId sender = env.sender;
+  auto* sender_rec = dom->find(sender);
+  if (sender_rec == nullptr) return;
+  const std::uint64_t seq = sender_rec->send_seq;
+  dom->loop().schedule_after(
+      delivered == 0 ? params().local_hop : params().group_timeout,
+      [dom, sender, seq] {
+        auto* rec = dom->find(sender);
+        if (rec != nullptr && rec->alive && rec->awaiting_reply &&
+            rec->send_seq == seq) {
+          dom->complete_reply(sender, msg::make_reply(ReplyCode::kTimeout));
+        }
+      });
+}
+
+sim::Co<Result<std::size_t>> Process::move_from(ProcessId src,
+                                                std::span<std::byte> dest,
+                                                std::size_t offset) {
+  ++domain_->stats_.moves;
+  domain_->stats_.bytes_moved += dest.size();
+  const bool local = src.local_to(host_id());
+  co_await delay(params().move_from_cost(dest.size(), local));
+  auto* srec = domain_->find(src);  // validate after the transfer time
+  if (srec == nullptr || !srec->alive || !srec->awaiting_reply) {
+    co_return ReplyCode::kNoReply;
+  }
+  const auto seg = srec->exposed.read;
+  if (offset + dest.size() > seg.size()) co_return ReplyCode::kBadArgs;
+  if (!dest.empty()) {
+    std::memcpy(dest.data(), seg.data() + offset, dest.size());
+  }
+  co_return dest.size();
+}
+
+sim::Co<Result<std::size_t>> Process::move_to(ProcessId dest,
+                                              std::span<const std::byte> src,
+                                              std::size_t offset) {
+  ++domain_->stats_.moves;
+  domain_->stats_.bytes_moved += src.size();
+  const bool local = dest.local_to(host_id());
+  co_await delay(params().move_to_cost(src.size(), local));
+  auto* drec = domain_->find(dest);
+  if (drec == nullptr || !drec->alive || !drec->awaiting_reply) {
+    co_return ReplyCode::kNoReply;
+  }
+  const auto seg = drec->exposed.write;
+  if (offset + src.size() > seg.size()) co_return ReplyCode::kBadArgs;
+  if (!src.empty()) {
+    std::memcpy(seg.data() + offset, src.data(), src.size());
+  }
+  co_return src.size();
+}
+
+void Process::set_pid(ServiceId service, ProcessId pid, Scope scope) {
+  auto& hosts = domain_->hosts_;
+  const HostId target = pid.logical_host();
+  V_CHECK(target >= 1 && target <= hosts.size());
+  hosts[target - 1]->register_service(service, pid, scope);
+}
+
+sim::Co<ProcessId> Process::get_pid(ServiceId service, Scope scope) {
+  co_await delay(params().getpid_local);
+  auto& hosts = domain_->hosts_;
+  const HostId here = host_id();
+  if (scope != Scope::kRemote) {
+    const ProcessId p = hosts[here - 1]->lookup_local(service);
+    if (p.valid() && domain_->process_alive(p)) co_return p;
+  }
+  if (scope != Scope::kLocal) {
+    co_await delay(params().broadcast_query);
+    for (const auto& host : hosts) {
+      if (host->id() == here || !host->alive()) continue;
+      const ProcessId p = host->lookup_remote(service);
+      if (p.valid() && domain_->process_alive(p)) co_return p;
+    }
+  }
+  co_return ProcessId::invalid();
+}
+
+void Process::join_group(GroupId group) {
+  auto& members = domain_->groups_[group];
+  for (ProcessId m : members) {
+    if (m == pid_) return;
+  }
+  members.push_back(pid_);
+}
+
+void Process::leave_group(GroupId group) {
+  auto it = domain_->groups_.find(group);
+  if (it == domain_->groups_.end()) return;
+  std::erase(it->second, pid_);
+}
+
+// ---------------------------------------------------------------------------
+// Host
+// ---------------------------------------------------------------------------
+
+Host::Host(Domain& domain, HostId id, std::string name)
+    : domain_(domain), id_(id), name_(std::move(name)) {
+  // Paper section 4.2: "process identifiers are always allocated randomly".
+  next_local_pid_ = static_cast<std::uint16_t>(
+      domain_.rng().uniform(1, 0xefff));
+}
+
+ProcessId Host::spawn(std::string name,
+                      std::function<sim::Co<void>(Process)> body) {
+  V_CHECK(alive_);
+  auto& rec = domain_.create_record(*this, std::move(name));
+  Process handle(&domain_, rec.pid);
+  std::string label = rec.name;
+  Domain* dom = &domain_;
+  rec.body_keepalive = std::move(body);
+  rec.fiber.emplace(rec.body_keepalive(handle),
+                    [dom, label](std::exception_ptr error) {
+    if (error) {
+      ++dom->failures_;
+      if (dom->first_failure_.empty()) {
+        try {
+          std::rethrow_exception(error);
+        } catch (const std::exception& e) {
+          dom->first_failure_ = label + ": " + e.what();
+        } catch (...) {
+          dom->first_failure_ = label + ": unknown exception";
+        }
+      }
+    }
+  });
+  auto* recp = &rec;
+  domain_.loop().schedule_after(0, [recp] {
+    if (recp->alive && recp->fiber) recp->fiber->start();
+  });
+  ++spawned_;
+  return rec.pid;
+}
+
+void Host::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  services_.clear();
+  for (auto& rec : domain_.records_) {
+    if (rec->host == this && rec->alive) domain_.kill_process(*rec);
+  }
+  // Sweep: senders anywhere in the domain blocked on a process that just
+  // died get a synthesized kNoReply (transport-level failure detection).
+  for (auto& rec : domain_.records_) {
+    if (rec->alive && rec->awaiting_reply &&
+        rec->blocked_on.valid() && rec->blocked_on.logical_host() == id_) {
+      domain_.synth_reply(rec->pid, ReplyCode::kNoReply);
+    }
+  }
+}
+
+void Host::restart() {
+  V_CHECK(!alive_);
+  alive_ = true;
+}
+
+void Host::register_service(ServiceId service, ProcessId pid, Scope scope) {
+  services_[service] = detail::Registration{pid, scope};
+}
+
+ProcessId Host::lookup_local(ServiceId service) const {
+  auto it = services_.find(service);
+  if (it == services_.end()) return ProcessId::invalid();
+  if (it->second.scope == Scope::kRemote) return ProcessId::invalid();
+  return it->second.pid;
+}
+
+ProcessId Host::lookup_remote(ServiceId service) const {
+  auto it = services_.find(service);
+  if (it == services_.end()) return ProcessId::invalid();
+  if (it->second.scope == Scope::kLocal) return ProcessId::invalid();
+  return it->second.pid;
+}
+
+// ---------------------------------------------------------------------------
+// Domain
+// ---------------------------------------------------------------------------
+
+Domain::Domain(CalibrationParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+Domain::~Domain() = default;
+
+Host& Domain::add_host(std::string name) {
+  const auto id = static_cast<HostId>(hosts_.size() + 1);
+  hosts_.push_back(std::make_unique<Host>(*this, id, std::move(name)));
+  return *hosts_.back();
+}
+
+std::string Domain::process_name(ProcessId pid) const {
+  const auto* rec = find(pid);
+  return rec != nullptr ? rec->name : std::string{};
+}
+
+bool Domain::process_alive(ProcessId pid) const {
+  const auto* rec = find(pid);
+  return rec != nullptr && rec->alive;
+}
+
+detail::ProcessRecord* Domain::find(ProcessId pid) {
+  auto it = by_pid_.find(pid.raw);
+  return it != by_pid_.end() ? it->second : nullptr;
+}
+
+const detail::ProcessRecord* Domain::find(ProcessId pid) const {
+  auto it = by_pid_.find(pid.raw);
+  return it != by_pid_.end() ? it->second : nullptr;
+}
+
+detail::ProcessRecord& Domain::create_record(Host& host, std::string name) {
+  // Allocate a fresh local pid, skipping ones still in the table (records
+  // are retained after death, which also maximizes time-before-reuse).
+  std::uint16_t local = host.next_local_pid_;
+  ProcessId pid;
+  for (;;) {
+    if (local == 0) local = 1;
+    pid = ProcessId::make(host.id(), local);
+    ++local;
+    if (by_pid_.find(pid.raw) == by_pid_.end()) break;
+  }
+  host.next_local_pid_ = local;
+
+  auto rec = std::make_unique<detail::ProcessRecord>();
+  rec->pid = pid;
+  rec->name = std::move(name);
+  rec->host = &host;
+  auto* raw = rec.get();
+  records_.push_back(std::move(rec));
+  by_pid_[pid.raw] = raw;
+  return *raw;
+}
+
+void Domain::deliver(HostId from_host, Envelope env, ProcessId dest) {
+  deliver(from_host, std::move(env), dest, /*synth_on_dead=*/true);
+}
+
+void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
+                     bool synth_on_dead) {
+  const bool local = dest.local_to(from_host);
+  loop_.schedule_after(
+      params_.hop(local), [this, env = std::move(env), dest, synth_on_dead] {
+        auto* rec = find(dest);
+        if (rec == nullptr || !rec->alive) {
+          if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
+          return;
+        }
+        // Track where the blocked sender's request currently lives so crash
+        // sweeps can find it (updated again on each forward delivery).
+        if (auto* sender = find(env.sender); sender != nullptr) {
+          sender->blocked_on = dest;
+        }
+        rec->mailbox.push_back(std::move(env));
+        if (rec->waiting_receive && rec->recv_waker.armed()) {
+          rec->waiting_receive = false;
+          rec->recv_waker.wake(loop_);
+        }
+      });
+}
+
+void Domain::deliver_reply(HostId from_host, msg::Message reply,
+                           ProcessId to) {
+  const bool local = to.local_to(from_host);
+  loop_.schedule_after(params_.hop(local),
+                       [this, reply, to] { complete_reply(to, reply); });
+}
+
+void Domain::synth_reply(ProcessId to, ReplyCode code) {
+  loop_.schedule_after(params_.local_hop, [this, to, code] {
+    complete_reply(to, msg::make_reply(code));
+  });
+}
+
+void Domain::complete_reply(ProcessId to, const msg::Message& reply) {
+  auto* rec = find(to);
+  if (rec == nullptr || !rec->alive || !rec->awaiting_reply) {
+    return;  // late/duplicate reply (e.g. second group answer): discarded
+  }
+  rec->awaiting_reply = false;
+  rec->blocked_on = ProcessId::invalid();
+  rec->reply = reply;
+  if (rec->reply_waker.armed()) rec->reply_waker.wake(loop_);
+}
+
+void Domain::kill_process(detail::ProcessRecord& rec) {
+  rec.alive = false;
+  rec.mailbox.clear();
+  if (rec.fiber) {
+    rec.fiber->kill();
+    // Deliver the pending resume so the fiber can unwind.
+    if (rec.recv_waker.armed()) rec.recv_waker.wake(loop_);
+    if (rec.reply_waker.armed()) rec.reply_waker.wake(loop_);
+  }
+}
+
+}  // namespace v::ipc

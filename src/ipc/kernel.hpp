@@ -1,0 +1,327 @@
+// The simulated distributed V kernel (paper section 3).
+//
+// A Domain is one V installation: a set of logical hosts on one network,
+// over which kernel operations are transparent with respect to machine
+// boundaries.  Each Host runs processes (coroutine fibers).  The IPC
+// primitives implement the Thoth-derived model:
+//
+//   Send        blocks the sender until the receiver Replies
+//   Receive     blocks until a message arrives
+//   Reply       unblocks a sender
+//   Forward     re-addresses a received message; the original sender stays
+//               blocked and the eventual Reply goes straight back to it
+//   MoveFrom /  the receiver of a message reads/writes the blocked sender's
+//   MoveTo      memory segments (bulk data path)
+//
+// plus the service registry (SetPid/GetPid with local/remote/both scopes and
+// broadcast lookup) and process groups with multicast Send (the paper's
+// stated future-work mechanism).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "ipc/calibration.hpp"
+#include "ipc/process_id.hpp"
+#include "msg/message.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+namespace v::ipc {
+
+class Domain;
+class Host;
+class Process;
+
+/// Memory segments a sender exposes for the duration of one Send.  The
+/// receiver (or whoever the request is forwarded to) accesses them with
+/// MoveFrom/MoveTo.  Spans must stay valid until the reply arrives — they
+/// normally point into the sending coroutine's frame, which the simulator
+/// keeps alive while the sender is blocked.
+struct Segments {
+  std::span<const std::byte> read;  ///< receiver may MoveFrom this
+  std::span<std::byte> write;       ///< receiver may MoveTo this
+};
+
+/// A received message as seen by the receiver.
+struct Envelope {
+  ProcessId sender;      ///< who is blocked awaiting the reply
+  msg::Message request;  ///< 32-byte request (mutable before Forward)
+  Segments segments;     ///< the sender's exposed memory
+};
+
+namespace detail {
+
+/// Kernel-internal per-process state.  Retained (not freed) after process
+/// death so pid lookups and pending resumes stay safe; pids are not reused
+/// until 2^16 allocations wrap (paper: "maximize the time before reuse").
+struct ProcessRecord {
+  ProcessId pid;
+  std::string name;          ///< debug label, not a protocol name
+  Host* host = nullptr;
+  bool alive = true;
+
+  std::deque<Envelope> mailbox;
+  sim::Waker recv_waker;
+  bool waiting_receive = false;
+
+  // Sender-side blocking state.
+  sim::Waker reply_waker;
+  msg::Message reply;
+  bool awaiting_reply = false;
+  ProcessId blocked_on;      ///< current holder of our request (updated on
+                             ///< forward delivery); used by crash sweeps
+  std::uint64_t send_seq = 0;  ///< distinguishes sends for timeout events
+  Segments exposed;            ///< segments of the in-flight send
+
+  std::optional<sim::Fiber> fiber;
+  /// Keeps the process body callable (and its captures) alive for the whole
+  /// coroutine lifetime: the frame refers to the lambda's captures in place.
+  std::function<sim::Co<void>(Process)> body_keepalive;
+};
+
+struct Registration {
+  ProcessId pid;
+  Scope scope;
+};
+
+}  // namespace detail
+
+/// Handle a process body uses to invoke kernel primitives.  Cheap to copy;
+/// remains valid for the lifetime of the Domain (records are retained).
+class Process {
+ public:
+  Process(Domain* domain, ProcessId pid) noexcept
+      : domain_(domain), pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const noexcept { return pid_; }
+  [[nodiscard]] Domain& domain() const noexcept { return *domain_; }
+  [[nodiscard]] HostId host_id() const noexcept { return pid_.logical_host(); }
+  [[nodiscard]] sim::SimTime now() const noexcept;
+  [[nodiscard]] const CalibrationParams& params() const noexcept;
+
+  /// Send a request and block until the reply.  On destination death or
+  /// crash the kernel synthesizes a kNoReply reply.
+  [[nodiscard]] sim::Co<msg::Message> send(msg::Message request,
+                                           ProcessId dest,
+                                           Segments segments = {});
+
+  /// Multicast send to a process group.  The first reply wins; later
+  /// replies are discarded (V group-send semantics).  Times out with a
+  /// kTimeout reply if no member answers.
+  [[nodiscard]] sim::Co<msg::Message> send_to_group(msg::Message request,
+                                                    GroupId group,
+                                                    Segments segments = {});
+
+  /// Receive the next message (blocks if the mailbox is empty).
+  [[nodiscard]] sim::Co<Envelope> receive();
+
+  /// Reply to a blocked sender.  Non-blocking; delivery is scheduled.
+  void reply(const msg::Message& reply_msg, ProcessId to);
+
+  /// Forward a received message to another process.  The original sender
+  /// stays blocked; `env.request` as passed here (possibly rewritten) is
+  /// what the new destination receives.
+  void forward(const Envelope& env, ProcessId new_dest);
+
+  /// Forward a received message to every live member of a process group;
+  /// the first member to Reply answers the (still blocked) original
+  /// sender and later replies are discarded.  This is the paper's
+  /// section 7 mechanism: "a single context could be implemented
+  /// transparently by a group of servers working in cooperation."  If no
+  /// member answers, the sender gets kTimeout after the group timeout.
+  void forward_to_group(const Envelope& env, GroupId group);
+
+  /// Copy `dest.size()` bytes from the blocked sender's read segment at
+  /// `offset` into `dest`.  Charges the calibrated bulk-transfer time.
+  [[nodiscard]] sim::Co<Result<std::size_t>> move_from(
+      ProcessId src, std::span<std::byte> dest, std::size_t offset = 0);
+
+  /// Copy `src` into the blocked sender's write segment at `offset`.
+  [[nodiscard]] sim::Co<Result<std::size_t>> move_to(
+      ProcessId dest, std::span<const std::byte> src, std::size_t offset = 0);
+
+  /// Consume simulated time (CPU work or waiting).
+  [[nodiscard]] sim::DelayAwaiter delay(sim::SimDuration d) const;
+  /// Semantic alias for CPU cost accounting.
+  [[nodiscard]] sim::DelayAwaiter compute(sim::SimDuration d) const {
+    return delay(d);
+  }
+
+  /// Register `pid` as implementing `service` within `scope` on THIS host.
+  void set_pid(ServiceId service, ProcessId pid, Scope scope);
+
+  /// Look up the process registered for `service`.  Checks the local table
+  /// first; when that fails and scope permits, performs a (simulated)
+  /// network broadcast.  Returns ProcessId::invalid() when nothing matches.
+  [[nodiscard]] sim::Co<ProcessId> get_pid(ServiceId service, Scope scope);
+
+  /// Join / leave a process group.
+  void join_group(GroupId group);
+  void leave_group(GroupId group);
+
+ private:
+  detail::ProcessRecord& record() const;
+  std::shared_ptr<sim::FiberState> fiber_state() const;
+
+  Domain* domain_;
+  ProcessId pid_;
+};
+
+/// One logical host: a kernel instance with its own process table slice and
+/// service registry.
+class Host {
+ public:
+  Host(Domain& domain, HostId id, std::string name);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] Domain& domain() noexcept { return domain_; }
+
+  /// Create a process running `body`.  The body starts at the current
+  /// simulated time via a scheduled event.  Returns its pid immediately.
+  ProcessId spawn(std::string name,
+                  std::function<sim::Co<void>(Process)> body);
+
+  /// Crash this host: every process dies, registrations vanish, blocked
+  /// remote senders get kNoReply, in-flight messages to it are dropped.
+  void crash();
+
+  /// Bring a crashed host back (empty process table; servers must be
+  /// respawned and re-register, which is the paper's rebinding story).
+  void restart();
+
+  /// Local service registry (used by Process::set_pid/get_pid).
+  void register_service(ServiceId service, ProcessId pid, Scope scope);
+  [[nodiscard]] ProcessId lookup_local(ServiceId service) const;
+  [[nodiscard]] ProcessId lookup_remote(ServiceId service) const;
+
+  /// Number of processes ever spawned (dead ones included).
+  [[nodiscard]] std::size_t processes_spawned() const noexcept {
+    return spawned_;
+  }
+
+ private:
+  friend class Domain;
+
+  Domain& domain_;
+  HostId id_;
+  std::string name_;
+  bool alive_ = true;
+  std::uint16_t next_local_pid_;
+  std::size_t spawned_ = 0;
+  std::map<ServiceId, detail::Registration> services_;
+};
+
+/// Transport-level counters for one domain run.  Structural quantities
+/// (message counts, forwards, bytes moved) that hold independent of any
+/// calibration — benches report them alongside simulated latencies.
+struct DomainStats {
+  std::uint64_t messages_sent = 0;     ///< request deliveries attempted
+  std::uint64_t replies_sent = 0;      ///< reply deliveries attempted
+  std::uint64_t forwards = 0;          ///< Forward / group-forward fan-outs
+  std::uint64_t remote_messages = 0;   ///< requests that crossed hosts
+  std::uint64_t moves = 0;             ///< MoveTo + MoveFrom operations
+  std::uint64_t bytes_moved = 0;       ///< segment bytes transferred
+};
+
+/// One V installation: hosts + network + event loop + cost model.
+class Domain {
+ public:
+  explicit Domain(
+      CalibrationParams params = CalibrationParams::SunWorkstation3Mbit(),
+      std::uint64_t seed = 0x1984'0601ULL);
+  ~Domain();
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Add a logical host to the domain.  References stay valid for the
+  /// Domain's lifetime.
+  Host& add_host(std::string name);
+
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const CalibrationParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] sim::SimTime now() const noexcept { return loop_.now(); }
+
+  /// Run the simulation until no events remain.
+  void run() { loop_.run_until_idle(); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Host>>& hosts()
+      const noexcept {
+    return hosts_;
+  }
+
+  /// Debug label of a process ("" if unknown).
+  [[nodiscard]] std::string process_name(ProcessId pid) const;
+  /// Is the process currently alive?
+  [[nodiscard]] bool process_alive(ProcessId pid) const;
+
+  /// Transport counters accumulated since construction.
+  [[nodiscard]] const DomainStats& stats() const noexcept { return stats_; }
+
+  /// Count of fibers that died with an unexpected exception (tests assert
+  /// this stays zero).
+  [[nodiscard]] std::size_t process_failures() const noexcept {
+    return failures_;
+  }
+  /// Human-readable description of the first failure, for diagnostics.
+  [[nodiscard]] const std::string& first_failure() const noexcept {
+    return first_failure_;
+  }
+
+ private:
+  friend class Host;
+  friend class Process;
+
+  detail::ProcessRecord* find(ProcessId pid);
+  const detail::ProcessRecord* find(ProcessId pid) const;
+  detail::ProcessRecord& create_record(Host& host, std::string name);
+
+  /// Schedule delivery of `env` to `dest` after the appropriate hop delay
+  /// from `from_host`.  Handles dead destinations with synthesized replies.
+  void deliver(HostId from_host, Envelope env, ProcessId dest);
+  /// As above; group sends pass synth_on_dead=false so a dead member does
+  /// not beat a live member's real reply.
+  void deliver(HostId from_host, Envelope env, ProcessId dest,
+               bool synth_on_dead);
+
+  /// Schedule a reply delivery to a blocked sender.
+  void deliver_reply(HostId from_host, msg::Message reply, ProcessId to);
+
+  /// Synthesize a failure reply (kNoReply etc.) to a blocked sender, at a
+  /// hop's delay.
+  void synth_reply(ProcessId to, ReplyCode code);
+
+  void complete_reply(ProcessId to, const msg::Message& reply);
+  void kill_process(detail::ProcessRecord& rec);
+
+  CalibrationParams params_;
+  sim::EventLoop loop_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  // Stable storage: records never move or die before the Domain does.
+  std::vector<std::unique_ptr<detail::ProcessRecord>> records_;
+  std::map<std::uint32_t, detail::ProcessRecord*> by_pid_;
+  std::map<GroupId, std::vector<ProcessId>> groups_;
+  DomainStats stats_;
+  std::size_t failures_ = 0;
+  std::string first_failure_;
+};
+
+}  // namespace v::ipc

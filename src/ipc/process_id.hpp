@@ -1,0 +1,89 @@
+// V process identifiers and service names (paper section 4.1-4.2).
+//
+// A pid is a 32-bit value, structured as (logical host | local pid), unique
+// within one V domain.  Pids are the only absolute names in a domain; all
+// other names are relative to a pid.  The subfield structure gives an O(1)
+// local/remote test and lets each host allocate pids independently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace v::ipc {
+
+/// Logical host number (upper 16 bits of a pid).
+using HostId = std::uint16_t;
+
+/// A V process identifier.
+struct ProcessId {
+  std::uint32_t raw = 0;
+
+  static constexpr ProcessId invalid() noexcept { return ProcessId{0}; }
+  static constexpr ProcessId make(HostId host, std::uint16_t local) noexcept {
+    return ProcessId{(static_cast<std::uint32_t>(host) << 16) | local};
+  }
+
+  /// Logical host subfield: which kernel this process lives on.
+  [[nodiscard]] constexpr HostId logical_host() const noexcept {
+    return static_cast<HostId>(raw >> 16);
+  }
+  /// Local pid subfield: which process on that host.
+  [[nodiscard]] constexpr std::uint16_t local_pid() const noexcept {
+    return static_cast<std::uint16_t>(raw & 0xffff);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept { return raw != 0; }
+
+  /// The paper's "efficiently determine whether the named process is local"
+  /// property: a pure bit-field comparison.
+  [[nodiscard]] constexpr bool local_to(HostId host) const noexcept {
+    return logical_host() == host;
+  }
+
+  friend constexpr bool operator==(ProcessId a, ProcessId b) noexcept {
+    return a.raw == b.raw;
+  }
+  friend constexpr bool operator!=(ProcessId a, ProcessId b) noexcept {
+    return a.raw != b.raw;
+  }
+  friend constexpr bool operator<(ProcessId a, ProcessId b) noexcept {
+    return a.raw < b.raw;
+  }
+};
+
+/// Well-known service identifiers used with SetPid/GetPid.  The kernel's
+/// service registry binds these to the process currently implementing the
+/// service (paper section 4.2: programs are written in terms of services,
+/// binding happens at time of use).
+enum class ServiceId : std::uint16_t {
+  kNone = 0,
+  kTimeServer = 1,
+  kContextPrefixServer = 2,
+  kStorageServer = 3,
+  kPrinterServer = 4,
+  kInternetServer = 5,
+  kTeamServer = 6,
+  kMailServer = 7,
+  kTerminalServer = 8,
+  kCentralNameServer = 9,  ///< baseline model only
+  kExceptionServer = 10,
+};
+
+/// Registration scope (paper: "local", "remote", or "both").
+enum class Scope : std::uint8_t {
+  kLocal = 1,   ///< visible only to GetPid on the same host
+  kRemote = 2,  ///< visible only to GetPid from other hosts
+  kBoth = 3,    ///< visible to both
+};
+
+/// Process group identifier for multicast Send (paper section 7 future
+/// work; the group mechanism of Cheriton & Zwaenepoel, SIGCOMM '84).
+using GroupId = std::uint32_t;
+
+}  // namespace v::ipc
+
+template <>
+struct std::hash<v::ipc::ProcessId> {
+  std::size_t operator()(v::ipc::ProcessId pid) const noexcept {
+    return std::hash<std::uint32_t>{}(pid.raw);
+  }
+};

@@ -1,0 +1,89 @@
+// The CSname standard header (paper section 5.3).
+//
+// Every request message that contains a character-string name has these
+// fields at fixed offsets, forming a skeleton common to all CSname request
+// types.  The variant part (bytes 12..31) depends on the request code.
+// The name bytes themselves are NOT in the 32-byte message: they live in a
+// segment of the original sender's memory, fetched by whichever server ends
+// up interpreting them via MoveFrom.  The server-pid part of the context is
+// implicit: it is the process the message is (currently) addressed to.
+#pragma once
+
+#include <cstdint>
+
+#include "msg/message.hpp"
+
+namespace v::msg::cs {
+
+// Standard field offsets within a CSname request message.
+inline constexpr std::size_t kOffCode = 0;        // u16 request code
+inline constexpr std::size_t kOffNameIndex = 2;   // u16 parse resume index
+inline constexpr std::size_t kOffNameLength = 4;  // u16 total name length
+inline constexpr std::size_t kOffMode = 6;        // u8 op-specific mode bits
+inline constexpr std::size_t kOffForwardCount = 7;  // u8 servers traversed
+inline constexpr std::size_t kOffContextId = 8;   // u32 context identifier
+inline constexpr std::size_t kVariantStart = 12;  // op-specific fields
+
+/// Forwarding budget: a request traversing more servers than this is
+/// answered kForwardLoop.  Cross-server pointer graphs are arbitrary
+/// directed graphs (section 5.8), so cycles are expressible; this bound
+/// makes interpretation total.
+inline constexpr std::uint8_t kMaxForwardHops = 8;
+
+/// Index into the name at which interpretation is to begin or continue.
+/// A server that forwards a partially-interpreted request advances this.
+[[nodiscard]] inline std::uint16_t name_index(const Message& m) noexcept {
+  return m.u16(kOffNameIndex);
+}
+inline void set_name_index(Message& m, std::uint16_t index) noexcept {
+  m.set_u16(kOffNameIndex, index);
+}
+
+/// Total length in bytes of the name segment.
+[[nodiscard]] inline std::uint16_t name_length(const Message& m) noexcept {
+  return m.u16(kOffNameLength);
+}
+inline void set_name_length(Message& m, std::uint16_t length) noexcept {
+  m.set_u16(kOffNameLength, length);
+}
+
+/// Context identifier in which interpretation (re)starts.
+[[nodiscard]] inline std::uint32_t context_id(const Message& m) noexcept {
+  return m.u32(kOffContextId);
+}
+inline void set_context_id(Message& m, std::uint32_t ctx) noexcept {
+  m.set_u32(kOffContextId, ctx);
+}
+
+/// Op-specific mode bits (e.g. open mode for kCreateInstance).
+[[nodiscard]] inline std::uint16_t mode(const Message& m) noexcept {
+  return static_cast<std::uint8_t>(m.raw()[kOffMode]);
+}
+inline void set_mode(Message& m, std::uint16_t mode_bits) noexcept {
+  m.raw()[kOffMode] = static_cast<std::byte>(mode_bits & 0xff);
+}
+
+/// How many servers have already interpreted part of this name (advanced
+/// on every forward; see kMaxForwardHops).
+[[nodiscard]] inline std::uint8_t forward_count(const Message& m) noexcept {
+  return static_cast<std::uint8_t>(m.raw()[kOffForwardCount]);
+}
+inline void set_forward_count(Message& m, std::uint8_t count) noexcept {
+  m.raw()[kOffForwardCount] = static_cast<std::byte>(count);
+}
+
+/// Build the skeleton of a CSname request: code + standard fields.
+[[nodiscard]] inline Message make_request(std::uint16_t code,
+                                          std::uint32_t ctx,
+                                          std::uint16_t name_len,
+                                          std::uint16_t mode_bits = 0) {
+  Message m;
+  m.set_code(code);
+  set_name_index(m, 0);
+  set_name_length(m, name_len);
+  set_context_id(m, ctx);
+  set_mode(m, mode_bits);
+  return m;
+}
+
+}  // namespace v::msg::cs

@@ -1,0 +1,74 @@
+// V message standard (paper section 3.2).
+//
+// Request and reply messages are fixed 32-byte records.  The first 16-bit
+// field of a request is the request code; it acts as a tag (like a Pascal
+// variant-record tag) specifying the format of the rest of the message.
+// Replies carry a standard reply code in the same position.  Larger data
+// (names, file blocks) is not in the message: it travels in the sender's
+// memory segments, accessed by the receiver via MoveFrom/MoveTo.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/pack.hpp"
+#include "common/reply_codes.hpp"
+
+namespace v::msg {
+
+/// A fixed 32-byte V message.  Field accessors take byte offsets; protocol
+/// headers (e.g. the CSname standard fields) define named offsets on top.
+class Message {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  Message() noexcept : bytes_{} {}
+
+  /// Request code / reply code (first 16-bit word).
+  [[nodiscard]] std::uint16_t code() const noexcept { return u16(0); }
+  void set_code(std::uint16_t code) noexcept { set_u16(0, code); }
+
+  /// Reply-code view of the first word (replies only).
+  [[nodiscard]] ReplyCode reply_code() const noexcept {
+    return static_cast<ReplyCode>(code());
+  }
+  void set_reply_code(ReplyCode code) noexcept {
+    set_code(static_cast<std::uint16_t>(code));
+  }
+
+  [[nodiscard]] std::uint16_t u16(std::size_t off) const noexcept {
+    return get_u16(bytes_, off);
+  }
+  [[nodiscard]] std::uint32_t u32(std::size_t off) const noexcept {
+    return get_u32(bytes_, off);
+  }
+  void set_u16(std::size_t off, std::uint16_t value) noexcept {
+    put_u16(bytes_, off, value);
+  }
+  void set_u32(std::size_t off, std::uint32_t value) noexcept {
+    put_u32(bytes_, off, value);
+  }
+
+  [[nodiscard]] std::span<const std::byte> raw() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::span<std::byte> raw() noexcept { return bytes_; }
+
+  friend bool operator==(const Message& a, const Message& b) noexcept {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::array<std::byte, kSize> bytes_;
+};
+
+/// Build a reply message carrying just a reply code.
+inline Message make_reply(ReplyCode code) noexcept {
+  Message m;
+  m.set_reply_code(code);
+  return m;
+}
+
+}  // namespace v::msg

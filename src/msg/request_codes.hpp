@@ -1,0 +1,64 @@
+// Standard request codes.
+//
+// Code ranges are allocated per protocol so a server can cheaply decide
+// whether a request is a CSname request (and thus has the standard name
+// fields, paper section 5.3) even when it does not understand the specific
+// operation:
+//
+//   0x0100-0x01ff  name-handling protocol, CSname requests
+//   0x0200-0x02ff  I/O protocol, non-CSname (instance-id based)
+//   0x0280          kCreateInstance IS a CSname request (open-by-name); it
+//                   lives in the CSname range below instead.
+//   0x0300-0x03ff  miscellaneous service operations (non-CSname)
+//   0x0400-        server-specific operations (each server header defines
+//                   its own; CSname-carrying ones must set kCsnameBit)
+#pragma once
+
+#include <cstdint>
+
+namespace v::msg {
+
+/// Requests with this bit set carry the standard CSname header fields and
+/// a name segment, regardless of whether the receiving server understands
+/// the operation code.  This is what lets a server forward requests it
+/// cannot itself perform (paper section 5.4).
+inline constexpr std::uint16_t kCsnameBit = 0x0100;
+
+enum RequestCode : std::uint16_t {
+  // --- name-handling protocol (all CSname requests) -----------------------
+  kMapContextName = 0x0101,    ///< map a name naming a context to
+                               ///< (server-pid, context-id); standard op
+  kQueryName = 0x0102,         ///< get the object descriptor for a name
+  kModifyName = 0x0103,        ///< overwrite modifiable descriptor fields
+  kRemoveName = 0x0104,        ///< delete the named object
+  kRenameName = 0x0105,        ///< rename (old and new names in segment)
+  kAddContextName = 0x0106,    ///< optional op: define name for a context
+  kDeleteContextName = 0x0107, ///< optional op: remove such a definition
+  kCreateInstance = 0x0108,    ///< I/O protocol open-by-name (CSname request)
+  kCreateName = 0x0109,        ///< create an object with the given name
+  kMakeContext = 0x010a,       ///< create a sub-context (mkdir analogue)
+  kLinkContext = 0x010b,       ///< bind name -> (server,ctx) pointer inside a
+                               ///< name space (the "curved arrow" of Fig. 4)
+
+  // --- inverse mappings (not CSname requests: no name in request) ---------
+  kGetContextName = 0x0301,    ///< (server,context-id) -> CSname
+  kGetFileName = 0x0302,       ///< (server,instance-id) -> CSname
+
+  // --- I/O protocol (instance-id based, paper section 3.2 / 5.6) ----------
+  kQueryInstance = 0x0201,
+  kReadInstance = 0x0202,
+  kWriteInstance = 0x0203,
+  kReleaseInstance = 0x0204,
+
+  // --- misc services -------------------------------------------------------
+  kGetTime = 0x0303,
+  kLoadProgram = 0x0304,       ///< team server: load program image (MoveTo)
+};
+
+/// True when `code` denotes a request carrying the CSname standard header.
+constexpr bool is_csname_request(std::uint16_t code) noexcept {
+  return (code & 0xff00) == kCsnameBit ||
+         (code >= 0x0400 && (code & kCsnameBit) != 0);
+}
+
+}  // namespace v::msg

@@ -1,0 +1,630 @@
+#include "naming/csnh_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "naming/match.hpp"
+#include "naming/parse.hpp"
+
+namespace v::naming {
+
+namespace {
+
+using msg::Message;
+using msg::RequestCode;
+
+/// A context directory: "logically a file consisting of a sequence of
+/// description records, one for each object in the associated context"
+/// (section 5.6).  Reading returns the fabricated snapshot; writing a
+/// record has the same semantics as invoking the modification operation on
+/// the corresponding object.
+class ContextDirectoryInstance : public io::BufferInstance {
+ public:
+  ContextDirectoryInstance(ContextId ctx,
+                           std::vector<std::byte> snapshot,
+                           std::function<sim::Co<ReplyCode>(
+                               ipc::Process&, ContextId,
+                               const ObjectDescriptor&)> apply)
+      : BufferInstance(std::move(snapshot),
+                       io::kInstanceReadable | io::kInstanceWriteable),
+        ctx_(ctx),
+        apply_(std::move(apply)) {}
+
+  sim::Co<Result<std::size_t>> write_block(
+      ipc::Process& self, std::uint32_t block,
+      std::span<const std::byte> data) override {
+    auto written = co_await BufferInstance::write_block(self, block, data);
+    if (!written.ok()) co_return written;
+    // Apply every complete descriptor record covered by this write.
+    const std::size_t begin =
+        static_cast<std::size_t>(block) * info().block_bytes;
+    const std::size_t end = begin + written.value();
+    const std::size_t first_rec = begin / ObjectDescriptor::kWireSize;
+    for (std::size_t rec = first_rec;
+         (rec + 1) * ObjectDescriptor::kWireSize <= data_.size() &&
+         rec * ObjectDescriptor::kWireSize < end;
+         ++rec) {
+      auto decoded = ObjectDescriptor::decode(std::span<const std::byte>(
+          data_.data() + rec * ObjectDescriptor::kWireSize,
+          ObjectDescriptor::kWireSize));
+      if (!decoded.ok()) continue;  // garbage record: server ignores it
+      (void)co_await apply_(self, ctx_, decoded.value());
+    }
+    co_return written;
+  }
+
+ private:
+  ContextId ctx_;
+  std::function<sim::Co<ReplyCode>(ipc::Process&, ContextId,
+                                   const ObjectDescriptor&)> apply_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Run loop and dispatch
+// ---------------------------------------------------------------------------
+
+sim::Co<void> CsnhServer::run(ipc::Process self) {
+  pid_ = self.pid();
+  co_await on_start(self);
+  for (;;) {
+    auto env = co_await self.receive();
+    co_await dispatch(self, std::move(env));
+  }
+}
+
+sim::Co<void> CsnhServer::dispatch(ipc::Process& self, ipc::Envelope env) {
+  const std::uint16_t code = env.request.code();
+  if (msg::is_csname_request(code)) {
+    co_await handle_csname(self, env);
+    co_return;
+  }
+  Message reply;
+  switch (code) {
+    case RequestCode::kQueryInstance:
+    case RequestCode::kReadInstance:
+    case RequestCode::kWriteInstance:
+    case RequestCode::kReleaseInstance: {
+      auto maybe = co_await handle_instance_op(self, env);
+      if (!maybe.has_value()) co_return;  // deferred: handler replies later
+      reply = *maybe;
+      break;
+    }
+    case RequestCode::kGetContextName: {
+      const ContextId ctx =
+          translate_context(env.request.u32(wire::kOffInvContextId));
+      reply = co_await do_inverse_name(self, env, context_to_name(ctx));
+      break;
+    }
+    case RequestCode::kGetFileName: {
+      const auto instance = static_cast<io::InstanceId>(
+          env.request.u16(wire::kOffInvInstanceId));
+      reply = co_await do_inverse_name(self, env, instance_to_name(instance));
+      break;
+    }
+    default:
+      reply = co_await handle_custom(self, env);
+      break;
+  }
+  self.reply(reply, env.sender);
+}
+
+bool CsnhServer::defines_leaf(std::uint16_t code) noexcept {
+  switch (code) {
+    case RequestCode::kAddContextName:
+    case RequestCode::kDeleteContextName:
+    case RequestCode::kCreateName:
+    case RequestCode::kMakeContext:
+    case RequestCode::kLinkContext:
+    case RequestCode::kRemoveName:
+    case RequestCode::kRenameName:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The name mapping procedure (paper section 5.4)
+// ---------------------------------------------------------------------------
+
+sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
+                                        ipc::Envelope& env) {
+  // 1. Fetch the name bytes from the (possibly distant) original sender's
+  //    segment.  This cost is why remote Opens are more expensive than a
+  //    bare remote transaction (section 6).
+  const std::uint16_t name_len = msg::cs::name_length(env.request);
+  if (name_len > kMaxNameLength) {
+    self.reply(msg::make_reply(ReplyCode::kBadArgs), env.sender);
+    co_return;
+  }
+  std::string name(name_len, '\0');
+  if (name_len > 0) {
+    auto fetched = co_await self.move_from(
+        env.sender, std::as_writable_bytes(std::span(name)), 0);
+    if (!fetched.ok()) {
+      if (fetched.code() == ReplyCode::kNoReply) {
+        co_return;  // sender vanished; nobody to answer
+      }
+      // e.g. the claimed name length exceeds the sender's segment.
+      self.reply(msg::make_reply(fetched.code()), env.sender);
+      co_return;
+    }
+  }
+  co_await self.compute(parse_cost(self, name));
+
+  // 2. Initialize CurrentContext from the request (the server-pid half of
+  //    the context is implicit: the message arrived here).
+  std::size_t index = msg::cs::name_index(env.request);
+  if (index > name.size()) {
+    self.reply(msg::make_reply(ReplyCode::kBadArgs), env.sender);
+    co_return;
+  }
+  ContextId ctx = translate_context(msg::cs::context_id(env.request));
+  if (!context_valid(ctx)) {
+    self.reply(msg::make_reply(ReplyCode::kInvalidContext), env.sender);
+    co_return;
+  }
+
+  // 3. Interpret components left to right, updating CurrentContext; when a
+  //    component names a context on another server, rewrite the standard
+  //    fields and forward the request there.
+  const std::uint16_t code = env.request.code();
+  const bool stop_before_last = defines_leaf(code);
+  auto last_kind = LookupResult::Kind::kLocalContext;  // state of 'ctx'
+  for (;;) {
+    std::size_t next = 0;
+    const std::string_view component = parse_component(name, index, next);
+    if (component.empty()) break;  // whole name consumed: leaf is empty
+    if (stop_before_last) {
+      std::size_t after = 0;
+      if (parse_component(name, next, after).empty()) break;  // last: define
+    }
+    co_await self.compute(self.params().per_component_parse);
+    const LookupResult found = co_await lookup(self, ctx, component);
+    last_kind = found.kind;
+    if (found.kind == LookupResult::Kind::kLocalContext) {
+      ctx = found.context;
+      index = next;
+      continue;
+    }
+    if (found.kind == LookupResult::Kind::kRemoteContext ||
+        found.kind == LookupResult::Kind::kGroupContext) {
+      // Cross-server pointer graphs may contain cycles (section 5.8 allows
+      // arbitrary directed graphs); bound the traversal so interpretation
+      // always terminates with a clean error instead of orbiting forever.
+      const auto hops = msg::cs::forward_count(env.request);
+      if (hops >= msg::cs::kMaxForwardHops) {
+        self.reply(msg::make_reply(ReplyCode::kForwardLoop), env.sender);
+        co_return;
+      }
+      msg::cs::set_forward_count(env.request,
+                                 static_cast<std::uint8_t>(hops + 1));
+      msg::cs::set_name_index(env.request, static_cast<std::uint16_t>(next));
+      if (found.kind == LookupResult::Kind::kGroupContext) {
+        // Section 7: the context is implemented by a group of servers; the
+        // request is multicast and the first member to answer wins.
+        msg::cs::set_context_id(env.request, found.context);
+        self.forward_to_group(env, found.group);
+      } else {
+        msg::cs::set_context_id(env.request, found.remote.context);
+        self.forward(env, found.remote.server);
+      }
+      co_return;  // the next server picks up where we stopped
+    }
+    break;  // kMissing or kObject: interpretation stops here
+  }
+
+  // 4. What remains is the leaf (zero or one component); a deeper remainder
+  //    means the path ran through a non-context.
+  std::size_t next = 0;
+  const std::string_view leaf = parse_component(name, index, next);
+  std::size_t after = 0;
+  if (!parse_component(name, next, after).empty()) {
+    const auto why = last_kind == LookupResult::Kind::kObject
+                         ? ReplyCode::kNotAContext
+                         : ReplyCode::kNotFound;
+    self.reply(msg::make_reply(why), env.sender);
+    co_return;
+  }
+
+  // 5. Dispatch the operation against (ctx, leaf).
+  Message reply;
+  switch (code) {
+    case RequestCode::kMapContextName: {
+      if (!leaf.empty()) {
+        reply = msg::make_reply(last_kind == LookupResult::Kind::kObject
+                                    ? ReplyCode::kNotAContext
+                                    : ReplyCode::kNotFound);
+        break;
+      }
+      reply = msg::make_reply(ReplyCode::kOk);
+      wire::set_map_reply(reply, ContextPair{pid_, ctx});
+      break;
+    }
+    case RequestCode::kQueryName:
+      reply = co_await do_query(self, env, ctx, leaf);
+      break;
+    case RequestCode::kModifyName:
+      reply = co_await do_modify(self, env, ctx, leaf, name.size());
+      break;
+    case RequestCode::kRemoveName:
+      reply = msg::make_reply(co_await remove(self, ctx, leaf));
+      break;
+    case RequestCode::kRenameName:
+      reply = co_await do_rename(self, env, ctx, leaf, name.size());
+      break;
+    case RequestCode::kCreateName:
+      reply = msg::make_reply(co_await create_object(
+          self, ctx, leaf, msg::cs::mode(env.request)));
+      break;
+    case RequestCode::kMakeContext:
+      reply = msg::make_reply(co_await make_context(self, ctx, leaf));
+      break;
+    case RequestCode::kLinkContext: {
+      const ContextPair target{
+          ipc::ProcessId{env.request.u32(wire::kOffLinkServerPid)},
+          env.request.u32(wire::kOffLinkContextId)};
+      reply = msg::make_reply(co_await link_context(self, ctx, leaf, target));
+      break;
+    }
+    case RequestCode::kAddContextName: {
+      const std::uint16_t flags = env.request.u16(wire::kOffAddFlags);
+      ContextPair target{
+          ipc::ProcessId{env.request.u32(wire::kOffAddServerPid)},
+          env.request.u32(wire::kOffAddContextId)};
+      const auto service =
+          (flags & wire::kAddFlagLogical) != 0
+              ? static_cast<ipc::ServiceId>(
+                    env.request.u16(wire::kOffAddService))
+              : ipc::ServiceId::kNone;
+      ipc::GroupId group = 0;
+      if ((flags & wire::kAddFlagGroup) != 0) {
+        group = env.request.u32(wire::kOffAddServerPid);
+        target.server = ipc::ProcessId::invalid();
+      }
+      reply = msg::make_reply(co_await add_context_name(
+          self, ctx, leaf, target, service, group));
+      break;
+    }
+    case RequestCode::kDeleteContextName:
+      reply = msg::make_reply(co_await delete_context_name(self, ctx, leaf));
+      break;
+    case RequestCode::kCreateInstance:
+      reply = co_await do_open(self, env, ctx, leaf,
+                               msg::cs::mode(env.request));
+      break;
+    default:
+      reply = co_await handle_custom_csname(self, env, ctx, leaf, name);
+      break;
+  }
+  self.reply(reply, env.sender);
+}
+
+// ---------------------------------------------------------------------------
+// Standard operation bodies
+// ---------------------------------------------------------------------------
+
+sim::Co<msg::Message> CsnhServer::do_query(ipc::Process& self,
+                                           ipc::Envelope& env, ContextId ctx,
+                                           std::string_view leaf) {
+  auto desc = co_await describe(self, ctx, leaf);
+  if (!desc.ok()) co_return msg::make_reply(desc.code());
+  co_await self.compute(self.params().descriptor_fabricate);
+  std::array<std::byte, ObjectDescriptor::kWireSize> record{};
+  desc.value().encode(record);
+  auto moved = co_await self.move_to(env.sender, record);
+  if (!moved.ok()) co_return msg::make_reply(moved.code());
+  Message reply = msg::make_reply(ReplyCode::kOk);
+  reply.set_u16(wire::kOffQueryType,
+                static_cast<std::uint16_t>(desc.value().type));
+  co_return reply;
+}
+
+sim::Co<msg::Message> CsnhServer::do_modify(ipc::Process& self,
+                                            ipc::Envelope& env,
+                                            ContextId ctx,
+                                            std::string_view leaf,
+                                            std::size_t payload_offset) {
+  std::array<std::byte, ObjectDescriptor::kWireSize> record{};
+  auto fetched = co_await self.move_from(env.sender, record, payload_offset);
+  if (!fetched.ok()) co_return msg::make_reply(fetched.code());
+  auto desc = ObjectDescriptor::decode(record);
+  if (!desc.ok()) co_return msg::make_reply(desc.code());
+  co_return msg::make_reply(co_await modify(self, ctx, leaf, desc.value()));
+}
+
+sim::Co<msg::Message> CsnhServer::do_rename(ipc::Process& self,
+                                            ipc::Envelope& env,
+                                            ContextId ctx,
+                                            std::string_view leaf,
+                                            std::size_t payload_offset) {
+  const std::uint16_t new_len = env.request.u16(wire::kOffRenameNewLength);
+  if (new_len == 0 || new_len > kMaxNameLength) {
+    co_return msg::make_reply(ReplyCode::kBadArgs);
+  }
+  std::string new_name(new_len, '\0');
+  auto fetched = co_await self.move_from(
+      env.sender, std::as_writable_bytes(std::span(new_name)),
+      payload_offset);
+  if (!fetched.ok()) co_return msg::make_reply(fetched.code());
+  if (!is_simple_leaf(new_name)) {
+    // Cross-context renames are not part of the standard protocol.
+    co_return msg::make_reply(ReplyCode::kBadArgs);
+  }
+  co_return msg::make_reply(co_await rename(self, ctx, leaf, new_name));
+}
+
+sim::Co<msg::Message> CsnhServer::do_open(ipc::Process& self,
+                                          ipc::Envelope& /*env*/,
+                                          ContextId ctx,
+                                          std::string_view leaf,
+                                          std::uint16_t mode) {
+  std::unique_ptr<io::InstanceObject> object;
+  if (leaf.empty() || (mode & wire::kOpenDirectory) != 0) {
+    // Opening a context itself opens its context directory (section 5.6).
+    std::string_view pattern;
+    if (!leaf.empty()) {
+      if ((mode & wire::kOpenPattern) != 0) {
+        pattern = leaf;  // section 5.6 extension: filter by glob
+      } else {
+        // A leaf only survives the mapping walk when it is NOT a local
+        // context, so a named directory-mode open here cannot succeed.
+        co_return msg::make_reply(ReplyCode::kNotFound);
+      }
+    }
+    auto entries = co_await list_context(self, ctx);
+    if (!entries.ok()) co_return msg::make_reply(entries.code());
+    // Matching is cheap; fabrication is charged only for SHIPPED records —
+    // exactly the saving the paper's pattern extension is after.
+    if (!pattern.empty()) {
+      std::erase_if(entries.value(), [pattern](const ObjectDescriptor& d) {
+        return !glob_match(pattern, d.name);
+      });
+    }
+    co_await self.compute(self.params().descriptor_fabricate *
+                          static_cast<sim::SimDuration>(
+                              entries.value().size()));
+    std::vector<std::byte> snapshot(entries.value().size() *
+                                    ObjectDescriptor::kWireSize);
+    for (std::size_t i = 0; i < entries.value().size(); ++i) {
+      entries.value()[i].encode(std::span(snapshot).subspan(
+          i * ObjectDescriptor::kWireSize, ObjectDescriptor::kWireSize));
+    }
+    object = std::make_unique<ContextDirectoryInstance>(
+        ctx, std::move(snapshot),
+        [this](ipc::Process& p, ContextId c, const ObjectDescriptor& d)
+            -> sim::Co<ReplyCode> { return modify(p, c, d.name, d); });
+  } else {
+    auto opened = co_await open_object(self, ctx, leaf, mode);
+    if (!opened.ok()) co_return msg::make_reply(opened.code());
+    object = opened.take();
+  }
+  const io::InstanceInfo info = object->info();
+  const io::InstanceId id = instances_.add(std::move(object));
+  Message reply = msg::make_reply(ReplyCode::kOk);
+  reply.set_u16(io::kOffCreateInstance, id);
+  reply.set_u32(io::kOffCreateSize, info.size_bytes);
+  reply.set_u16(io::kOffCreateBlock, info.block_bytes);
+  reply.set_u16(io::kOffCreateFlags, info.flags);
+  reply.set_u32(io::kOffCreateServerPid, pid_.raw);
+  reply.set_u32(io::kOffCreateContextId, ctx);
+  co_return reply;
+}
+
+sim::Co<msg::Message> CsnhServer::do_inverse_name(ipc::Process& self,
+                                                  ipc::Envelope& env,
+                                                  Result<std::string> name) {
+  if (!name.ok()) co_return msg::make_reply(name.code());
+  const std::string& text = name.value();
+  if (!text.empty()) {
+    auto moved = co_await self.move_to(
+        env.sender, std::as_bytes(std::span(text.data(), text.size())));
+    if (!moved.ok()) co_return msg::make_reply(moved.code());
+  }
+  Message reply = msg::make_reply(ReplyCode::kOk);
+  reply.set_u16(wire::kOffInvNameLength,
+                static_cast<std::uint16_t>(text.size()));
+  co_return reply;
+}
+
+// ---------------------------------------------------------------------------
+// I/O protocol instance operations
+// ---------------------------------------------------------------------------
+
+sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
+    ipc::Process& self, ipc::Envelope& env) {
+  const auto id =
+      static_cast<io::InstanceId>(env.request.u16(io::kOffInstance));
+  io::InstanceObject* object = instances_.find(id);
+  switch (env.request.code()) {
+    case RequestCode::kQueryInstance: {
+      if (object == nullptr) {
+        co_return msg::make_reply(ReplyCode::kInvalidInstance);
+      }
+      const auto info = object->info();
+      Message reply = msg::make_reply(ReplyCode::kOk);
+      reply.set_u16(io::kOffCreateInstance, id);
+      reply.set_u32(io::kOffCreateSize, info.size_bytes);
+      reply.set_u16(io::kOffCreateBlock, info.block_bytes);
+      reply.set_u16(io::kOffCreateFlags, info.flags);
+      co_return reply;
+    }
+    case RequestCode::kReadInstance: {
+      if (object == nullptr) {
+        co_return msg::make_reply(ReplyCode::kInvalidInstance);
+      }
+      const auto block = env.request.u32(io::kOffBlock);
+      const auto info = object->info();
+      std::uint16_t count = env.request.u16(io::kOffByteCount);
+      std::vector<std::byte> buffer;
+      if (count == io::kBulkRead) {
+        // Bulk path: gather from `block` to EOF, then ONE MoveTo for the
+        // whole payload (the V program-loading transfer shape).
+        std::vector<std::byte> block_buf(info.block_bytes);
+        for (std::uint32_t b = block;; ++b) {
+          auto got = co_await object->read_block(self, b, block_buf);
+          if (!got.ok()) {
+            if (got.code() == ReplyCode::kEndOfFile) break;
+            co_return msg::make_reply(got.code());
+          }
+          buffer.insert(buffer.end(), block_buf.begin(),
+                        block_buf.begin() +
+                            static_cast<std::ptrdiff_t>(got.value()));
+          if (got.value() < block_buf.size()) break;
+        }
+      } else {
+        if (count == 0 || count > info.block_bytes) count = info.block_bytes;
+        buffer.resize(count);
+        auto got = co_await object->read_block(self, block, buffer);
+        if (!got.ok()) co_return msg::make_reply(got.code());
+        buffer.resize(got.value());
+      }
+      if (!buffer.empty()) {
+        auto moved = co_await self.move_to(env.sender, buffer);
+        if (!moved.ok()) co_return msg::make_reply(moved.code());
+      }
+      Message reply = msg::make_reply(ReplyCode::kOk);
+      reply.set_u16(io::kOffXferCount, static_cast<std::uint16_t>(std::min(
+                                           buffer.size(), std::size_t{0xfffe})));
+      reply.set_u32(io::kOffXferCountLong,
+                    static_cast<std::uint32_t>(buffer.size()));
+      co_return reply;
+    }
+    case RequestCode::kWriteInstance: {
+      if (object == nullptr) {
+        co_return msg::make_reply(ReplyCode::kInvalidInstance);
+      }
+      const auto block = env.request.u32(io::kOffBlock);
+      const std::uint16_t count = env.request.u16(io::kOffByteCount);
+      if (count == 0 || count > object->info().block_bytes) {
+        co_return msg::make_reply(ReplyCode::kBadArgs);
+      }
+      std::vector<std::byte> buffer(count);
+      auto fetched = co_await self.move_from(env.sender, buffer, 0);
+      if (!fetched.ok()) co_return msg::make_reply(fetched.code());
+      auto wrote = co_await object->write_block(self, block, buffer);
+      if (!wrote.ok()) co_return msg::make_reply(wrote.code());
+      Message reply = msg::make_reply(ReplyCode::kOk);
+      reply.set_u16(io::kOffXferCount,
+                    static_cast<std::uint16_t>(wrote.value()));
+      co_return reply;
+    }
+    case RequestCode::kReleaseInstance: {
+      const bool released = instances_.release(self, id);
+      co_return msg::make_reply(released ? ReplyCode::kOk
+                                         : ReplyCode::kInvalidInstance);
+    }
+    default:
+      co_return msg::make_reply(ReplyCode::kIllegalRequest);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Default hook implementations
+// ---------------------------------------------------------------------------
+
+sim::Co<void> CsnhServer::on_start(ipc::Process& /*self*/) { co_return; }
+
+std::string_view CsnhServer::parse_component(std::string_view name,
+                                             std::size_t index,
+                                             std::size_t& next) {
+  return naming::next_component(name, index, next);
+}
+
+sim::SimDuration CsnhServer::parse_cost(ipc::Process& self,
+                                        std::string_view /*name*/) {
+  return self.params().csname_parse;
+}
+
+sim::Co<Result<ObjectDescriptor>> CsnhServer::describe(ipc::Process& /*self*/,
+                                                       ContextId ctx,
+                                                       std::string_view leaf) {
+  if (!leaf.empty()) co_return ReplyCode::kNotFound;
+  ObjectDescriptor desc;
+  desc.type = DescriptorType::kContext;
+  desc.server_pid = pid_.raw;
+  desc.context_id = ctx;
+  if (auto name = context_to_name(ctx); name.ok()) desc.name = name.value();
+  co_return desc;
+}
+
+sim::Co<ReplyCode> CsnhServer::modify(ipc::Process&, ContextId,
+                                      std::string_view,
+                                      const ObjectDescriptor&) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::remove(ipc::Process&, ContextId,
+                                      std::string_view) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::rename(ipc::Process&, ContextId,
+                                      std::string_view, std::string_view) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::create_object(ipc::Process&, ContextId,
+                                             std::string_view,
+                                             std::uint16_t) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::make_context(ipc::Process&, ContextId,
+                                            std::string_view) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::link_context(ipc::Process&, ContextId,
+                                            std::string_view, ContextPair) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::add_context_name(ipc::Process&, ContextId,
+                                                std::string_view, ContextPair,
+                                                ipc::ServiceId,
+                                                ipc::GroupId) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<ReplyCode> CsnhServer::delete_context_name(ipc::Process&, ContextId,
+                                                   std::string_view) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<Result<std::unique_ptr<io::InstanceObject>>> CsnhServer::open_object(
+    ipc::Process&, ContextId, std::string_view, std::uint16_t) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+sim::Co<Result<std::vector<ObjectDescriptor>>> CsnhServer::list_context(
+    ipc::Process&, ContextId) {
+  co_return ReplyCode::kIllegalRequest;
+}
+
+Result<std::string> CsnhServer::context_to_name(ContextId) {
+  return ReplyCode::kNoInverse;
+}
+
+Result<std::string> CsnhServer::instance_to_name(io::InstanceId) {
+  return ReplyCode::kNoInverse;
+}
+
+sim::Co<msg::Message> CsnhServer::handle_custom_csname(ipc::Process&,
+                                                       ipc::Envelope&,
+                                                       ContextId,
+                                                       std::string_view,
+                                                       const std::string&) {
+  co_return msg::make_reply(ReplyCode::kIllegalRequest);
+}
+
+sim::Co<msg::Message> CsnhServer::handle_custom(ipc::Process&,
+                                                ipc::Envelope&) {
+  co_return msg::make_reply(ReplyCode::kIllegalRequest);
+}
+
+}  // namespace v::naming

@@ -1,0 +1,244 @@
+// CsnhServer: base class for every character-string-name-handling server
+// (paper sections 5.3-5.7).
+//
+// "Any V server implementing one or more name spaces or contexts must
+// conform to the name-handling protocol."  This class is that conformance:
+// it implements, once, the parts the protocol fixes for all servers —
+//
+//   * the CSname standard header handling and name-segment fetch,
+//   * the name-mapping procedure: left-to-right component interpretation
+//     with CurrentContext, and forwarding of partially-interpreted requests
+//     to the server implementing the next context (section 5.4),
+//   * the standard operations: MapContextName, Query/Modify descriptors,
+//     Remove/Rename/Create, the optional Add/DeleteContextName, the inverse
+//     mappings GetContextName/GetFileName (section 5.7),
+//   * context directories readable (and writeable) as files via the V I/O
+//     protocol (section 5.6), and
+//   * the I/O protocol instance operations.
+//
+// Subclasses provide the name space itself through the lookup/describe/...
+// hooks.  A server keeps full freedom in syntax by overriding
+// parse_component (the mail server treats "user@host" as one component),
+// and in interpretation by overriding the hooks — exactly the flexibility
+// the paper claims for the distributed model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "io/instance.hpp"
+#include "ipc/kernel.hpp"
+#include "msg/csname.hpp"
+#include "msg/message.hpp"
+#include "msg/request_codes.hpp"
+#include "naming/descriptor.hpp"
+#include "naming/protocol.hpp"
+#include "naming/types.hpp"
+#include "sim/task.hpp"
+
+namespace v::naming {
+
+class CsnhServer {
+ public:
+  virtual ~CsnhServer() = default;
+
+  /// The server's process body.  Spawn it with:
+  ///   host.spawn("fs", [srv](ipc::Process p) { return srv->run(p); });
+  /// The CsnhServer object must outlive the domain run.
+  [[nodiscard]] sim::Co<void> run(ipc::Process self);
+
+  /// Pid of the running server process (valid once run() has started).
+  [[nodiscard]] ipc::ProcessId pid() const noexcept { return pid_; }
+
+ protected:
+  /// Result of looking up one name component in a context.
+  struct LookupResult {
+    enum class Kind {
+      kMissing,        ///< no such name in the context
+      kObject,         ///< names a leaf object (not a context)
+      kLocalContext,   ///< names a context on this server
+      kRemoteContext,  ///< names a context on another server -> forward
+      kGroupContext,   ///< names a context implemented by a PROCESS GROUP
+                       ///< (paper section 7) -> multicast forward
+    };
+    Kind kind = Kind::kMissing;
+    ContextId context = kDefaultContext;  ///< kLocalContext / kGroupContext
+    ContextPair remote;                   ///< for kRemoteContext
+    ipc::GroupId group = 0;               ///< for kGroupContext
+    std::uint32_t object_id = 0;          ///< for kObject (informational)
+
+    static LookupResult missing() { return {}; }
+    static LookupResult object(std::uint32_t id = 0) {
+      LookupResult r;
+      r.kind = Kind::kObject;
+      r.object_id = id;
+      return r;
+    }
+    static LookupResult local(ContextId ctx) {
+      LookupResult r;
+      r.kind = Kind::kLocalContext;
+      r.context = ctx;
+      return r;
+    }
+    static LookupResult remote_ctx(ContextPair pair) {
+      LookupResult r;
+      r.kind = Kind::kRemoteContext;
+      r.remote = pair;
+      return r;
+    }
+    static LookupResult group_ctx(ipc::GroupId group, ContextId ctx) {
+      LookupResult r;
+      r.kind = Kind::kGroupContext;
+      r.group = group;
+      r.context = ctx;
+      return r;
+    }
+  };
+
+  // --- mandatory hook --------------------------------------------------------
+
+  /// Look up `component` in `ctx`.  A coroutine because some servers need
+  /// kernel operations here (the prefix server resolves logical entries
+  /// with GetPid at each use).
+  virtual sim::Co<LookupResult> lookup(ipc::Process& self, ContextId ctx,
+                                       std::string_view component) = 0;
+
+  // --- optional hooks (defaults reply kIllegalRequest / kNoInverse) ----------
+
+  /// Called once when the server process starts (register services, ...).
+  virtual sim::Co<void> on_start(ipc::Process& self);
+
+  /// Translate well-known context ids (kHomeContext...) to concrete ones.
+  /// Default: identity.
+  virtual ContextId translate_context(ContextId ctx) { return ctx; }
+
+  /// Is `ctx` a context this server implements right now?
+  virtual bool context_valid(ContextId ctx) {
+    return ctx == kDefaultContext;
+  }
+
+  /// Split off the component of `name` starting at `index` (also skipping
+  /// syntax like separators); sets `next` to where the next one begins.
+  /// Default: '/'-separated.  Override for foreign syntaxes.
+  virtual std::string_view parse_component(std::string_view name,
+                                           std::size_t index,
+                                           std::size_t& next);
+
+  /// Fixed CPU charge for handling one CSname request (calibration:
+  /// csname_parse; the context prefix server overrides this with its own
+  /// measured processing cost).
+  virtual sim::SimDuration parse_cost(ipc::Process& self,
+                                      std::string_view name);
+
+  /// Descriptor for the object `leaf` in `ctx`; an empty leaf means the
+  /// context itself (default: a generic kContext record).
+  virtual sim::Co<Result<ObjectDescriptor>> describe(ipc::Process& self,
+                                                     ContextId ctx,
+                                                     std::string_view leaf);
+
+  /// Apply a modification record ("overwrites the original description";
+  /// servers ignore fields that make no sense to change).
+  virtual sim::Co<ReplyCode> modify(ipc::Process& self, ContextId ctx,
+                                    std::string_view leaf,
+                                    const ObjectDescriptor& desc);
+
+  virtual sim::Co<ReplyCode> remove(ipc::Process& self, ContextId ctx,
+                                    std::string_view leaf);
+  virtual sim::Co<ReplyCode> rename(ipc::Process& self, ContextId ctx,
+                                    std::string_view leaf,
+                                    std::string_view new_leaf);
+  virtual sim::Co<ReplyCode> create_object(ipc::Process& self, ContextId ctx,
+                                           std::string_view leaf,
+                                           std::uint16_t mode);
+  virtual sim::Co<ReplyCode> make_context(ipc::Process& self, ContextId ctx,
+                                          std::string_view leaf);
+  /// Bind leaf -> target inside this server's name space (cross-server
+  /// pointer, the curved arrow of Figure 4).
+  virtual sim::Co<ReplyCode> link_context(ipc::Process& self, ContextId ctx,
+                                          std::string_view leaf,
+                                          ContextPair target);
+
+  /// Optional operations, "ordinarily implemented only in context prefix
+  /// servers" (section 5.7).  `logical_service` is set (non-kNone) for
+  /// logical-pid entries resolved by GetPid at each use; `group` is set
+  /// (non-zero) for group-implemented contexts (section 7), in which case
+  /// `target.context` still carries the context id within the group.
+  virtual sim::Co<ReplyCode> add_context_name(ipc::Process& self,
+                                              ContextId ctx,
+                                              std::string_view leaf,
+                                              ContextPair target,
+                                              ipc::ServiceId logical_service,
+                                              ipc::GroupId group);
+  virtual sim::Co<ReplyCode> delete_context_name(ipc::Process& self,
+                                                 ContextId ctx,
+                                                 std::string_view leaf);
+
+  /// Open `leaf` as an I/O instance (files, terminals, connections...).
+  virtual sim::Co<Result<std::unique_ptr<io::InstanceObject>>> open_object(
+      ipc::Process& self, ContextId ctx, std::string_view leaf,
+      std::uint16_t mode);
+
+  /// All objects in `ctx`, for context-directory fabrication.  Default:
+  /// kIllegalRequest (servers without enumerable contexts).
+  virtual sim::Co<Result<std::vector<ObjectDescriptor>>> list_context(
+      ipc::Process& self, ContextId ctx);
+
+  /// Inverse mappings (section 5.7 / section 6's "reverse mapping").
+  /// Default kNoInverse — the paper is explicit that inverses may not exist.
+  virtual Result<std::string> context_to_name(ContextId ctx);
+  virtual Result<std::string> instance_to_name(io::InstanceId instance);
+
+  /// CSname requests with operation codes this base does not know, already
+  /// resolved to (ctx, leaf).  Default: kIllegalRequest reply.
+  virtual sim::Co<msg::Message> handle_custom_csname(
+      ipc::Process& self, ipc::Envelope& env, ContextId ctx,
+      std::string_view leaf, const std::string& name);
+
+  /// Non-CSname requests this base does not know.  Default: kIllegalRequest.
+  virtual sim::Co<msg::Message> handle_custom(ipc::Process& self,
+                                              ipc::Envelope& env);
+
+  /// I/O-protocol instance operations (Query/Read/Write/ReleaseInstance).
+  /// The default drives the InstanceObject in `instances()`.  Overriders
+  /// may return nullopt to DEFER: the handler keeps the envelope and
+  /// replies later (how the pipe server blocks readers on empty pipes).
+  virtual sim::Co<std::optional<msg::Message>> handle_instance_op(
+      ipc::Process& self, ipc::Envelope& env);
+
+  /// Open instance table (subclass open_object results land here too).
+  [[nodiscard]] io::InstanceTable& instances() noexcept { return instances_; }
+
+ private:
+  sim::Co<void> dispatch(ipc::Process& self, ipc::Envelope env);
+  sim::Co<void> handle_csname(ipc::Process& self, ipc::Envelope& env);
+  sim::Co<msg::Message> do_open(ipc::Process& self, ipc::Envelope& env,
+                                ContextId ctx, std::string_view leaf,
+                                std::uint16_t mode);
+  sim::Co<msg::Message> do_query(ipc::Process& self, ipc::Envelope& env,
+                                 ContextId ctx, std::string_view leaf);
+  sim::Co<msg::Message> do_modify(ipc::Process& self, ipc::Envelope& env,
+                                  ContextId ctx, std::string_view leaf,
+                                  std::size_t payload_offset);
+  sim::Co<msg::Message> do_rename(ipc::Process& self, ipc::Envelope& env,
+                                  ContextId ctx, std::string_view leaf,
+                                  std::size_t payload_offset);
+  sim::Co<msg::Message> do_inverse_name(ipc::Process& self,
+                                        ipc::Envelope& env,
+                                        Result<std::string> name);
+
+  /// Ops that DEFINE the final component rather than resolving it (create,
+  /// add-name, remove...): the mapping walk must stop before consuming the
+  /// last component, or e.g. redefining an existing prefix would forward
+  /// the request to the old target instead of updating the table.
+  static bool defines_leaf(std::uint16_t code) noexcept;
+
+  io::InstanceTable instances_;
+  ipc::ProcessId pid_;
+};
+
+}  // namespace v::naming

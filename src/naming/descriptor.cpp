@@ -1,0 +1,102 @@
+#include "naming/descriptor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/pack.hpp"
+
+namespace v::naming {
+
+std::string_view to_string(DescriptorType type) noexcept {
+  switch (type) {
+    case DescriptorType::kNone: return "none";
+    case DescriptorType::kFile: return "file";
+    case DescriptorType::kContext: return "context";
+    case DescriptorType::kProcess: return "process";
+    case DescriptorType::kTerminal: return "terminal";
+    case DescriptorType::kConnection: return "connection";
+    case DescriptorType::kPrefix: return "prefix";
+    case DescriptorType::kMailbox: return "mailbox";
+    case DescriptorType::kPrintJob: return "print-job";
+    case DescriptorType::kDevice: return "device";
+  }
+  return "unknown";
+}
+
+namespace {
+// Wire layout (little-endian):
+//   0   u16  type tag
+//   2   u16  flags
+//   4   u32  size
+//   8   u32  object_id
+//   12  u32  server_pid
+//   16  u32  context_id
+//   20  u32  mtime
+//   24  u8   owner length, 25..56 owner bytes
+//   57  u8   name length, 58..121 name bytes
+//   122..127 reserved (zero)
+constexpr std::size_t kOffType = 0;
+constexpr std::size_t kOffFlags = 2;
+constexpr std::size_t kOffSize = 4;
+constexpr std::size_t kOffObjectId = 8;
+constexpr std::size_t kOffServerPid = 12;
+constexpr std::size_t kOffContextId = 16;
+constexpr std::size_t kOffMtime = 20;
+constexpr std::size_t kOffOwnerLen = 24;
+constexpr std::size_t kOffOwner = 25;
+constexpr std::size_t kOffNameLen = 57;
+constexpr std::size_t kOffName = 58;
+
+void put_string(std::span<std::byte> out, std::size_t len_off,
+                std::size_t str_off, const std::string& s,
+                std::size_t max_len) {
+  const auto n = std::min(s.size(), max_len);
+  out[len_off] = static_cast<std::byte>(n);
+  if (n > 0) std::memcpy(out.data() + str_off, s.data(), n);
+}
+
+std::string get_string(std::span<const std::byte> in, std::size_t len_off,
+                       std::size_t str_off, std::size_t max_len) {
+  const auto n = std::min<std::size_t>(
+      static_cast<std::size_t>(in[len_off]), max_len);
+  return std::string(reinterpret_cast<const char*>(in.data() + str_off), n);
+}
+
+}  // namespace
+
+void ObjectDescriptor::encode(std::span<std::byte> out) const {
+  V_CHECK(out.size() >= kWireSize);
+  std::memset(out.data(), 0, kWireSize);
+  put_u16(out, kOffType, static_cast<std::uint16_t>(type));
+  put_u16(out, kOffFlags, flags);
+  put_u32(out, kOffSize, size);
+  put_u32(out, kOffObjectId, object_id);
+  put_u32(out, kOffServerPid, server_pid);
+  put_u32(out, kOffContextId, context_id);
+  put_u32(out, kOffMtime, mtime);
+  put_string(out, kOffOwnerLen, kOffOwner, owner, kMaxOwner);
+  put_string(out, kOffNameLen, kOffName, name, kMaxName);
+}
+
+Result<ObjectDescriptor> ObjectDescriptor::decode(
+    std::span<const std::byte> in) {
+  if (in.size() < kWireSize) return ReplyCode::kBadArgs;
+  const auto tag = get_u16(in, kOffType);
+  if (tag > static_cast<std::uint16_t>(DescriptorType::kDevice)) {
+    return ReplyCode::kBadArgs;
+  }
+  ObjectDescriptor d;
+  d.type = static_cast<DescriptorType>(tag);
+  d.flags = get_u16(in, kOffFlags);
+  d.size = get_u32(in, kOffSize);
+  d.object_id = get_u32(in, kOffObjectId);
+  d.server_pid = get_u32(in, kOffServerPid);
+  d.context_id = get_u32(in, kOffContextId);
+  d.mtime = get_u32(in, kOffMtime);
+  d.owner = get_string(in, kOffOwnerLen, kOffOwner, kMaxOwner);
+  d.name = get_string(in, kOffNameLen, kOffName, kMaxName);
+  return d;
+}
+
+}  // namespace v::naming

@@ -1,0 +1,82 @@
+// Typed object description records (paper section 5.5, Figure 3).
+//
+// A query operation returns a description record whose first field is a tag
+// specifying the record format (and letting the client check the object is
+// of the expected type).  Context directories (section 5.6) are sequences of
+// these records, one per object, fabricated on demand by the server.
+//
+// Records have a fixed 128-byte wire encoding so a context directory can be
+// read as a file of fixed-size records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.hpp"
+#include "naming/types.hpp"
+
+namespace v::naming {
+
+/// Record tag: what kind of object this record describes.
+enum class DescriptorType : std::uint16_t {
+  kNone = 0,
+  kFile = 1,        ///< storage server file
+  kContext = 2,     ///< a context (e.g. a directory)
+  kProcess = 3,     ///< a process / running program
+  kTerminal = 4,    ///< virtual terminal
+  kConnection = 5,  ///< network (TCP) connection
+  kPrefix = 6,      ///< context prefix definition
+  kMailbox = 7,     ///< mail server mailbox
+  kPrintJob = 8,    ///< spooled printer job
+  kDevice = 9,      ///< other device-like object
+};
+
+std::string_view to_string(DescriptorType type) noexcept;
+
+/// Modifiable/queryable attribute flags.
+enum DescriptorFlags : std::uint16_t {
+  kReadable = 1 << 0,
+  kWriteable = 1 << 1,
+  kAppendOnly = 1 << 2,
+  kProtected = 1 << 3,   ///< modification requests are ignored
+  kLogical = 1 << 4,     ///< prefix entries: bound to a service, not a pid
+  kGrouped = 1 << 5,     ///< prefix entries: bound to a process GROUP
+};
+
+/// One object description record.
+///
+/// "Some of the fields of a description record are typically names of other
+/// system objects, such as name of the owner" — `owner` here.  Servers are
+/// free to ignore modifications to fields "which it makes no sense to
+/// change"; the convention in this codebase is: `flags` and `owner` are
+/// modifiable, everything else is fabricated by the server.
+struct ObjectDescriptor {
+  DescriptorType type = DescriptorType::kNone;
+  std::uint16_t flags = 0;
+  std::uint32_t size = 0;        ///< object size in bytes (files, jobs, ...)
+  std::uint32_t object_id = 0;   ///< server-internal id (i-node, instance)
+  std::uint32_t server_pid = 0;  ///< for kPrefix/kContext: target server
+  ContextId context_id = 0;      ///< for kPrefix/kContext: target context
+  std::uint32_t mtime = 0;       ///< last-modified, simulated seconds
+  std::string owner;             ///< owning user (name of another object)
+  std::string name;              ///< the object's name in this context
+
+  /// Fixed wire size of one encoded record.
+  static constexpr std::size_t kWireSize = 128;
+  static constexpr std::size_t kMaxOwner = 31;
+  static constexpr std::size_t kMaxName = 63;
+
+  /// Encode into exactly kWireSize bytes at `out` (out.size() >= kWireSize).
+  /// Over-long owner/name strings are truncated (wire format limit).
+  void encode(std::span<std::byte> out) const;
+
+  /// Decode a record.  Returns kBadArgs for a short buffer or unknown tag.
+  static Result<ObjectDescriptor> decode(std::span<const std::byte> in);
+
+  friend bool operator==(const ObjectDescriptor&,
+                         const ObjectDescriptor&) = default;
+};
+
+}  // namespace v::naming

@@ -1,0 +1,30 @@
+#include "naming/match.hpp"
+
+namespace v::naming {
+
+bool glob_match(std::string_view pattern, std::string_view name) noexcept {
+  // Iterative matcher with single-star backtracking: O(|pattern|*|name|)
+  // worst case, linear in practice.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos;  // position of last '*'
+  std::size_t mark = 0;  // name position the star is currently matched to
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;  // widen the star by one more character
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace v::naming

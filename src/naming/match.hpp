@@ -1,0 +1,23 @@
+// Glob-style pattern matching for context directories.
+//
+// Section 5.6: "we have been considering extensions to context directories
+// such as pattern matching, which would cause the server to only include
+// objects that match the given pattern in the returned context directory."
+// This implements that extension: '*' matches any run of characters, '?'
+// matches exactly one, everything else matches itself.
+#pragma once
+
+#include <string_view>
+
+namespace v::naming {
+
+/// True when `name` matches the glob `pattern`.
+[[nodiscard]] bool glob_match(std::string_view pattern,
+                              std::string_view name) noexcept;
+
+/// True when the string contains glob metacharacters.
+[[nodiscard]] constexpr bool has_glob_chars(std::string_view text) noexcept {
+  return text.find_first_of("*?") != std::string_view::npos;
+}
+
+}  // namespace v::naming

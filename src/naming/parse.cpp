@@ -1,0 +1,44 @@
+#include "naming/parse.hpp"
+
+namespace v::naming {
+
+std::optional<std::string_view> parse_prefix(
+    std::string_view name, std::size_t& rest_index) noexcept {
+  if (!has_prefix_syntax(name)) return std::nullopt;
+  const auto close = name.find(kPrefixClose, 1);
+  if (close == std::string_view::npos) return std::nullopt;
+  rest_index = close + 1;
+  return name.substr(1, close - 1);
+}
+
+std::string_view next_component(std::string_view name, std::size_t index,
+                                std::size_t& next_index) noexcept {
+  while (index < name.size() && name[index] == '/') ++index;
+  if (index >= name.size()) {
+    next_index = name.size();
+    return {};
+  }
+  auto end = name.find('/', index);
+  if (end == std::string_view::npos) end = name.size();
+  next_index = end;
+  return name.substr(index, end - index);
+}
+
+std::size_t count_components(std::string_view name,
+                             std::size_t index) noexcept {
+  std::size_t count = 0;
+  while (true) {
+    std::size_t next = 0;
+    const auto comp = next_component(name, index, next);
+    if (comp.empty()) break;
+    ++count;
+    index = next;
+  }
+  return count;
+}
+
+bool is_simple_leaf(std::string_view remainder) noexcept {
+  return count_components(remainder) <= 1;
+}
+
+}  // namespace v::naming

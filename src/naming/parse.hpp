@@ -1,0 +1,47 @@
+// CSname parsing helpers (paper sections 5.1, 5.4, 5.8).
+//
+// The protocol imposes almost no name syntax; these helpers implement the
+// two syntaxes the standard servers use:
+//   * slash-separated hierarchical components ("usr/mann/naming.mss")
+//   * the context prefix syntax: a leading '[', prefix terminated by ']'
+// Servers with foreign syntaxes (e.g. mail's "user@host") simply do not use
+// these helpers — that freedom is one of the paper's design points.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace v::naming {
+
+/// Standard context prefix character checked by the run-time library.
+inline constexpr char kPrefixOpen = '[';
+inline constexpr char kPrefixClose = ']';
+
+/// True when the name starts with the standard context prefix character
+/// (the run-time routines route such requests to the context prefix server).
+constexpr bool has_prefix_syntax(std::string_view name) noexcept {
+  return !name.empty() && name.front() == kPrefixOpen;
+}
+
+/// Extract the prefix of "[prefix]rest...".  Returns the prefix (without
+/// brackets) and sets `rest_index` to the index just past ']'.  Returns
+/// nullopt when the name does not carry well-formed prefix syntax.
+std::optional<std::string_view> parse_prefix(std::string_view name,
+                                             std::size_t& rest_index) noexcept;
+
+/// One step of left-to-right component parsing: the component starting at
+/// `index` (skipping leading separators) and, via `next_index`, where the
+/// following component begins.  Empty return means no components remain.
+std::string_view next_component(std::string_view name, std::size_t index,
+                                std::size_t& next_index) noexcept;
+
+/// Number of slash-separated components in `name` from `index` on.
+std::size_t count_components(std::string_view name,
+                             std::size_t index = 0) noexcept;
+
+/// True when the remainder contains at most one component (no internal
+/// separator), i.e. it can denote a leaf object in the final context.
+bool is_simple_leaf(std::string_view remainder) noexcept;
+
+}  // namespace v::naming

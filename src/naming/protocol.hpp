@@ -1,0 +1,81 @@
+// Wire layouts for the standard name-handling operations (paper section 5.7)
+// and their replies.  Variant fields start at msg::cs::kVariantStart (12).
+//
+// Segment layout convention for CSname requests:  the sender's read segment
+// begins with the name bytes (cs::name_length of them); any operation
+// payload (e.g. a descriptor for kModifyName, the new name for kRenameName)
+// follows immediately after.  Replies that return bulk data (descriptors,
+// names) MoveTo it into the sender's write segment.
+#pragma once
+
+#include <cstdint>
+
+#include "msg/csname.hpp"
+#include "msg/message.hpp"
+#include "naming/types.hpp"
+
+namespace v::naming::wire {
+
+// --- kMapContextName reply ---------------------------------------------------
+// The standard operation mapping a CSname that names a context into a
+// (server-pid, context-id) pair, returned in the reply message.
+inline constexpr std::size_t kOffMapServerPid = 4;   // u32
+inline constexpr std::size_t kOffMapContextId = 8;   // u32
+
+inline void set_map_reply(msg::Message& m, ContextPair pair) {
+  m.set_u32(kOffMapServerPid, pair.server.raw);
+  m.set_u32(kOffMapContextId, pair.context);
+}
+[[nodiscard]] inline ContextPair get_map_reply(const msg::Message& m) {
+  return ContextPair{ipc::ProcessId{m.u32(kOffMapServerPid)},
+                     m.u32(kOffMapContextId)};
+}
+
+// --- kQueryName reply --------------------------------------------------------
+// Descriptor record is MoveTo'd into the client's write segment; the reply
+// echoes the record's type tag so cheap type checks need no decode.
+inline constexpr std::size_t kOffQueryType = 2;  // u16 descriptor tag
+
+// --- kAddContextName request -------------------------------------------------
+// Optional operation (implemented by context prefix servers): define the
+// name in the segment as naming the given context.  kLogical entries bind
+// to a service id, resolved with GetPid at each use (paper section 6).
+inline constexpr std::size_t kOffAddServerPid = 12;  // u32
+inline constexpr std::size_t kOffAddContextId = 16;  // u32
+inline constexpr std::size_t kOffAddFlags = 20;      // u16 (entry kind bits)
+inline constexpr std::size_t kOffAddService = 22;    // u16 ServiceId
+inline constexpr std::uint16_t kAddFlagLogical = 1;
+/// Group entries (section 7): the kOffAddServerPid slot carries a GroupId
+/// instead of a pid; the prefix multicasts requests to the group.
+inline constexpr std::uint16_t kAddFlagGroup = 2;
+
+// --- kLinkContext request ----------------------------------------------------
+// Bind name -> (server, context) inside a server's name space: the
+// cross-server pointer of Figure 4 (the "curved arrow").
+inline constexpr std::size_t kOffLinkServerPid = 12;  // u32
+inline constexpr std::size_t kOffLinkContextId = 16;  // u32
+
+// --- kRenameName request -------------------------------------------------------
+// Read segment carries old name (name_length bytes) then the new name.
+inline constexpr std::size_t kOffRenameNewLength = 12;  // u16
+
+// --- kGetContextName request (inverse mapping; NOT a CSname request) ---------
+inline constexpr std::size_t kOffInvContextId = 4;   // u32 context to name
+// --- kGetFileName request ----------------------------------------------------
+inline constexpr std::size_t kOffInvInstanceId = 4;  // u16 instance to name
+// Shared reply: name length; bytes MoveTo'd into client's write segment.
+inline constexpr std::size_t kOffInvNameLength = 2;  // u16
+
+// --- kCreateInstance (open) mode bits in cs::mode (one byte) -------------------
+enum OpenMode : std::uint16_t {
+  kOpenRead = 1 << 0,
+  kOpenWrite = 1 << 1,
+  kOpenCreate = 1 << 2,    ///< create the leaf if missing
+  kOpenAppend = 1 << 3,
+  kOpenDirectory = 1 << 4,  ///< open the context directory itself
+  kOpenPattern = 1 << 5,    ///< the leaf is a glob; the returned context
+                            ///< directory includes only matching objects
+                            ///< (the section 5.6 pattern extension)
+};
+
+}  // namespace v::naming::wire

@@ -1,0 +1,64 @@
+// Core naming types (paper section 5.2).
+//
+// A context is a set of (name, object) tuples, identified system-wide by the
+// pair (server-pid, context-id).  Context ids are server-assigned numbers,
+// valid only while the server process exists, except for a few well-known
+// ids with fixed values used for generic name spaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ipc/process_id.hpp"
+
+namespace v::naming {
+
+/// Numeric identifier of a context within one server.
+using ContextId = std::uint32_t;
+
+/// Longest CSname the standard servers accept.
+inline constexpr std::size_t kMaxNameLength = 4096;
+
+/// "When a server implements only one context, the context identifier has
+/// little meaning and uses a standard default value of 0."
+inline constexpr ContextId kDefaultContext = 0;
+
+// Well-known context identifiers with fixed values (paper: "used to specify
+// generic name spaces such as 'home directory' and 'standard program
+// directory'").  Servers translate these to concrete contexts.
+inline constexpr ContextId kWellKnownBase = 0xffff0000;
+inline constexpr ContextId kHomeContext = 0xffff0001;       ///< home directory
+inline constexpr ContextId kProgramsContext = 0xffff0002;   ///< standard programs
+inline constexpr ContextId kPublicContext = 0xffff0003;     ///< public root
+inline constexpr ContextId kTempContext = 0xffff0004;       ///< scratch space
+
+/// True for the fixed well-known ids.
+constexpr bool is_well_known(ContextId ctx) noexcept {
+  return ctx >= kWellKnownBase;
+}
+
+/// A fully-specified context: which server, and which name space within it.
+struct ContextPair {
+  ipc::ProcessId server;
+  ContextId context = kDefaultContext;
+
+  [[nodiscard]] bool valid() const noexcept { return server.valid(); }
+
+  friend bool operator==(const ContextPair& a, const ContextPair& b) noexcept {
+    return a.server == b.server && a.context == b.context;
+  }
+  friend bool operator!=(const ContextPair& a, const ContextPair& b) noexcept {
+    return !(a == b);
+  }
+};
+
+/// A fully-qualified CSname: context plus the byte string interpreted in it
+/// (paper: "Given such a specification, the interpretation of the name is
+/// fully specified independent of the operation requested").
+struct QualifiedName {
+  ContextPair context;
+  std::string name;
+};
+
+}  // namespace v::naming

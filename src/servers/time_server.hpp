@@ -1,0 +1,28 @@
+// The time server: the paper's example of a simple service where "the
+// client typically translates from service to real server pid on each
+// operation" (section 4.2).  Not a CSNH server — it implements no name
+// space, which is also allowed: the protocols are opt-in per server.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "ipc/kernel.hpp"
+#include "msg/message.hpp"
+#include "sim/task.hpp"
+
+namespace v::servers {
+
+/// Reply field: current simulated time in seconds.
+inline constexpr std::size_t kOffTimeSeconds = 4;  // u32
+
+/// Process body of a time server.  Registers as ServiceId::kTimeServer with
+/// Scope::kBoth and answers kGetTime requests forever.
+sim::Co<void> time_server(ipc::Process self);
+
+/// Client helper: resolve the time service (GetPid each call, as simple
+/// services do) and fetch the time.  Fails with kNoReply when no time
+/// server is registered or reachable.
+sim::Co<Result<std::uint32_t>> get_time(ipc::Process self);
+
+}  // namespace v::servers

@@ -1,0 +1,91 @@
+// Generic awaitables over the event loop.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <utility>
+
+#include "sim/event_loop.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace v::sim {
+
+/// Suspend the current fiber for `delay` of simulated time.
+///
+/// Always suspends (even for zero delays) so that ordering between
+/// same-time events stays deterministic and explicit.  Honors fiber kill:
+/// resuming a killed fiber throws FiberKilled.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(EventLoop& loop, SimDuration delay,
+               std::shared_ptr<FiberState> fiber) noexcept
+      : loop_(loop), delay_(delay), fiber_(std::move(fiber)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    loop_.schedule_after(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const {
+    if (fiber_ && fiber_->killed) throw FiberKilled{};
+  }
+
+ private:
+  EventLoop& loop_;
+  SimDuration delay_;
+  std::shared_ptr<FiberState> fiber_;
+};
+
+/// Park the current fiber until an external party resumes it by calling
+/// the Waker.  Used by the kernel for blocking IPC states (awaiting reply,
+/// awaiting message).  The kernel is responsible for eventually waking every
+/// parked fiber, including on kill.
+class ParkAwaiter;
+
+/// Handle used to wake a parked fiber.  Copyable; waking twice is an error.
+class Waker {
+ public:
+  Waker() = default;
+
+  /// Resume the parked fiber via an immediate event (at current sim time).
+  void wake(EventLoop& loop) {
+    V_CHECK(handle_ != nullptr);
+    auto h = std::exchange(handle_, nullptr);
+    loop.schedule_after(0, [h] { h.resume(); });
+  }
+
+  /// Resume the parked fiber `delay` from now.
+  void wake_after(EventLoop& loop, SimDuration delay) {
+    V_CHECK(handle_ != nullptr);
+    auto h = std::exchange(handle_, nullptr);
+    loop.schedule_after(delay, [h] { h.resume(); });
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return handle_ != nullptr; }
+
+ private:
+  friend class ParkAwaiter;
+  std::coroutine_handle<> handle_ = nullptr;
+};
+
+class ParkAwaiter {
+ public:
+  /// `waker` must outlive the suspension; the kernel stores it in its wait
+  /// records.  `fiber` enables kill-by-exception on resume.
+  ParkAwaiter(Waker& waker, std::shared_ptr<FiberState> fiber) noexcept
+      : waker_(waker), fiber_(std::move(fiber)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) noexcept {
+    waker_.handle_ = h;
+  }
+  void await_resume() const {
+    if (fiber_ && fiber_->killed) throw FiberKilled{};
+  }
+
+ private:
+  Waker& waker_;
+  std::shared_ptr<FiberState> fiber_;
+};
+
+}  // namespace v::sim

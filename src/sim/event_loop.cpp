@@ -1,0 +1,37 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace v::sim {
+
+void EventLoop::schedule_at(SimTime at, Action action) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the action handle (std::function move would be nicer but top() is
+  // const).  Events are small; the copy is a shared control block at worst.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void EventLoop::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace v::sim

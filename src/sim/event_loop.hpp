@@ -1,0 +1,71 @@
+// Deterministic discrete-event loop.
+//
+// Every state change in the simulated V domain happens inside an event.
+// Events at equal times fire in scheduling order (a monotone sequence number
+// breaks ties), so runs are fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace v::sim {
+
+/// Discrete-event scheduler.  Not thread-safe; the whole simulation is
+/// single-threaded by design (determinism is a feature, see DESIGN.md).
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.  Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` to run at absolute time `at` (clamped to now()).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedule `action` to run `delay` from now (negative delays clamp to 0).
+  void schedule_after(SimDuration delay, Action action) {
+    schedule_at(now_ + (delay > 0 ? delay : 0), std::move(action));
+  }
+
+  /// Run one event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until no events remain.
+  void run_until_idle();
+
+  /// Run until simulated time would exceed `deadline` or the queue drains.
+  /// Events at exactly `deadline` still run.
+  void run_until(SimTime deadline);
+
+  /// Number of events executed so far (for tests and throughput benches).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace v::sim

@@ -1,0 +1,39 @@
+// Deterministic random source for the simulation.
+//
+// All randomness in a run flows from one seeded generator so that runs are
+// reproducible (DESIGN.md: determinism is a feature).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace v::sim {
+
+/// Seeded pseudo-random source.  One per Domain.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Access the underlying engine (for std distributions / shuffles).
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace v::sim

@@ -1,0 +1,67 @@
+// Sample accumulator for latency measurements.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace v::sim {
+
+/// Collects scalar samples (typically simulated milliseconds) and reports
+/// summary statistics.  Stores all samples; simulation scale keeps this
+/// cheap and allows exact percentiles.
+class Accumulator {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    V_CHECK(!samples_.empty());
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    V_CHECK(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    V_CHECK(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double stddev() const {
+    V_CHECK(!samples_.empty());
+    const double m = mean();
+    double acc = 0;
+    for (double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+  }
+
+  /// Exact percentile by nearest-rank (q in [0,1]).
+  [[nodiscard]] double percentile(double q) const {
+    V_CHECK(!samples_.empty());
+    V_CHECK(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace v::sim

@@ -1,0 +1,34 @@
+// Simulated time.
+//
+// All latencies the paper reports are in milliseconds on 1984 hardware; the
+// simulator keeps time as integer nanoseconds so cost-model arithmetic is
+// exact and runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace v::sim {
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+/// An absolute simulated time (nanoseconds since simulation start).
+using SimTime = std::int64_t;
+
+/// Construct durations readably:  3 * kMillisecond + 250 * kMicrosecond.
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Convert a simulated duration to fractional milliseconds (for reports).
+constexpr double to_ms(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Convert fractional milliseconds to a simulated duration.
+constexpr SimDuration from_ms(double ms) noexcept {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+}  // namespace v::sim

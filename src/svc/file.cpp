@@ -1,0 +1,108 @@
+#include "svc/file.hpp"
+
+#include "msg/request_codes.hpp"
+
+namespace v::svc {
+
+using msg::Message;
+using msg::RequestCode;
+
+sim::Co<Result<std::size_t>> File::read_block(std::uint32_t block,
+                                              std::span<std::byte> out) {
+  co_await proc_.compute(proc_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kReadInstance);
+  request.set_u16(io::kOffInstance, instance_);
+  request.set_u32(io::kOffBlock, block);
+  request.set_u16(io::kOffByteCount, static_cast<std::uint16_t>(out.size()));
+  ipc::Segments segments;
+  segments.write = out;
+  const Message reply = co_await proc_.send(request, server_, segments);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  co_return static_cast<std::size_t>(reply.u16(io::kOffXferCount));
+}
+
+sim::Co<Result<std::size_t>> File::write_block(
+    std::uint32_t block, std::span<const std::byte> data) {
+  co_await proc_.compute(proc_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kWriteInstance);
+  request.set_u16(io::kOffInstance, instance_);
+  request.set_u32(io::kOffBlock, block);
+  request.set_u16(io::kOffByteCount, static_cast<std::uint16_t>(data.size()));
+  ipc::Segments segments;
+  segments.read = data;
+  const Message reply = co_await proc_.send(request, server_, segments);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  co_return static_cast<std::size_t>(reply.u16(io::kOffXferCount));
+}
+
+sim::Co<Result<std::vector<std::byte>>> File::read_all() {
+  std::vector<std::byte> data;
+  std::vector<std::byte> block_buf(info_.block_bytes);
+  for (std::uint32_t block = 0;; ++block) {
+    auto got = co_await read_block(block, block_buf);
+    if (!got.ok()) {
+      if (got.code() == ReplyCode::kEndOfFile) break;
+      co_return got.code();
+    }
+    data.insert(data.end(), block_buf.begin(),
+                block_buf.begin() + static_cast<std::ptrdiff_t>(got.value()));
+    if (got.value() < block_buf.size()) break;  // short block: end of data
+  }
+  co_return data;
+}
+
+sim::Co<Result<std::vector<std::byte>>> File::read_bulk() {
+  const auto refreshed = co_await refresh();  // resync size before sizing
+  if (!v::ok(refreshed)) co_return refreshed;
+  std::vector<std::byte> buffer(info_.size_bytes);
+  co_await proc_.compute(proc_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kReadInstance);
+  request.set_u16(io::kOffInstance, instance_);
+  request.set_u32(io::kOffBlock, 0);
+  request.set_u16(io::kOffByteCount, io::kBulkRead);
+  ipc::Segments segments;
+  segments.write = buffer;
+  const Message reply = co_await proc_.send(request, server_, segments);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  buffer.resize(reply.u32(io::kOffXferCountLong));
+  co_return buffer;
+}
+
+sim::Co<ReplyCode> File::write_all(std::span<const std::byte> data) {
+  const std::size_t block_bytes = info_.block_bytes;
+  std::uint32_t block = 0;
+  for (std::size_t off = 0; off < data.size(); off += block_bytes, ++block) {
+    const std::size_t n = std::min(block_bytes, data.size() - off);
+    auto wrote = co_await write_block(block, data.subspan(off, n));
+    if (!wrote.ok()) co_return wrote.code();
+  }
+  if (data.empty()) co_return ReplyCode::kOk;
+  co_return ReplyCode::kOk;
+}
+
+sim::Co<ReplyCode> File::refresh() {
+  co_await proc_.compute(proc_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kQueryInstance);
+  request.set_u16(io::kOffInstance, instance_);
+  const Message reply = co_await proc_.send(request, server_);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  info_.size_bytes = reply.u32(io::kOffCreateSize);
+  info_.block_bytes = reply.u16(io::kOffCreateBlock);
+  info_.flags = reply.u16(io::kOffCreateFlags);
+  co_return ReplyCode::kOk;
+}
+
+sim::Co<ReplyCode> File::close() {
+  co_await proc_.compute(proc_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kReleaseInstance);
+  request.set_u16(io::kOffInstance, instance_);
+  const Message reply = co_await proc_.send(request, server_);
+  co_return reply.reply_code();
+}
+
+}  // namespace v::svc

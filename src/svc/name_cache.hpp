@@ -1,0 +1,97 @@
+// Client-side name cache — the ablation of paper section 2.2.
+//
+// The paper argues AGAINST client caching of name resolutions: "Caching the
+// name in the client would introduce inconsistency problems and only
+// benefit the few applications that reuse names."  This class implements
+// the cache anyway so the claim can be measured (bench_name_cache):
+//
+//   * an LRU map from the DIRECTORY part of a name to the (server-pid,
+//     context-id) pair in which its leaves are interpreted;
+//   * transparently invalidated on kInvalidContext / kNoReply (dead server
+//     or recycled context) with a full re-resolution;
+//   * NOT protected against silent aliasing: if a server restarts and a
+//     context id is reused for a DIFFERENT directory, cached resolutions
+//     return the wrong objects without any error.  That silent wrongness is
+//     exactly the inconsistency the paper warns about, and the test suite
+//     demonstrates it (test_name_cache.cpp).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "naming/types.hpp"
+
+namespace v::svc {
+
+class NameCache {
+ public:
+  explicit NameCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Cached resolution for a directory name, if present (refreshes LRU).
+  std::optional<naming::ContextPair> find(std::string_view dir) {
+    auto it = entries_.find(dir);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.position);
+    return it->second.target;
+  }
+
+  /// Remember `dir` -> `target`, evicting the least-recently-used entry
+  /// beyond capacity.
+  void put(std::string_view dir, naming::ContextPair target) {
+    auto it = entries_.find(dir);
+    if (it != entries_.end()) {
+      it->second.target = target;
+      lru_.splice(lru_.begin(), lru_, it->second.position);
+      return;
+    }
+    lru_.emplace_front(dir);
+    entries_.emplace(std::string(dir), Entry{target, lru_.begin()});
+    if (entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  /// Drop a stale entry (after kInvalidContext / kNoReply).
+  void erase(std::string_view dir) {
+    auto it = entries_.find(dir);
+    if (it == entries_.end()) return;
+    ++invalidations_;
+    lru_.erase(it->second.position);
+    entries_.erase(it);
+  }
+
+  void clear() {
+    entries_.clear();
+    lru_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t invalidations() const noexcept {
+    return invalidations_;
+  }
+
+ private:
+  struct Entry {
+    naming::ContextPair target;
+    std::list<std::string>::iterator position;
+  };
+
+  std::size_t capacity_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::list<std::string> lru_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace v::svc

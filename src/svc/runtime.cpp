@@ -1,0 +1,356 @@
+#include "svc/runtime.hpp"
+
+#include <cstring>
+
+#include "msg/request_codes.hpp"
+#include "naming/parse.hpp"
+#include "naming/protocol.hpp"
+
+namespace v::svc {
+
+using msg::Message;
+using msg::RequestCode;
+using naming::ContextPair;
+using naming::ObjectDescriptor;
+
+sim::Co<Rt> Rt::attach(ipc::Process self, naming::ContextPair current) {
+  const auto prefix_server = co_await self.get_pid(
+      ipc::ServiceId::kContextPrefixServer, ipc::Scope::kLocal);
+  co_return Rt(self, NameEnv{prefix_server, current});
+}
+
+sim::Co<msg::Message> Rt::send_csname(msg::Message request,
+                                      std::string_view name,
+                                      std::span<const std::byte> payload,
+                                      std::span<std::byte> write_segment) {
+  co_await self_.compute(self_.params().send_build);
+  // Read segment layout: name bytes, then the operation payload.
+  std::vector<std::byte> read_buffer(name.size() + payload.size());
+  if (!name.empty()) {
+    std::memcpy(read_buffer.data(), name.data(), name.size());
+  }
+  if (!payload.empty()) {
+    std::memcpy(read_buffer.data() + name.size(), payload.data(),
+                payload.size());
+  }
+  msg::cs::set_name_length(request, static_cast<std::uint16_t>(name.size()));
+  msg::cs::set_name_index(request, 0);
+
+  // The '['-check: route to the context prefix server or to the server of
+  // the current context.  (Localized here, as in the paper.)
+  ipc::ProcessId dest;
+  if (naming::has_prefix_syntax(name)) {
+    if (!env_.prefix_server.valid()) {
+      co_return msg::make_reply(ReplyCode::kNotFound);
+    }
+    dest = env_.prefix_server;
+    msg::cs::set_context_id(request, naming::kDefaultContext);
+  } else {
+    if (!env_.current.valid()) {
+      co_return msg::make_reply(ReplyCode::kInvalidContext);
+    }
+    dest = env_.current.server;
+    msg::cs::set_context_id(request, env_.current.context);
+  }
+  ipc::Segments segments;
+  segments.read = read_buffer;
+  segments.write = write_segment;
+  co_return co_await self_.send(request, dest, segments);
+}
+
+sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
+                                                  std::uint16_t mode) {
+  Message request;
+  request.set_code(RequestCode::kCreateInstance);
+  msg::cs::set_mode(request, mode);
+  const Message reply = co_await send_csname(request, name);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  io::InstanceInfo info;
+  info.size_bytes = reply.u32(io::kOffCreateSize);
+  info.block_bytes = reply.u16(io::kOffCreateBlock);
+  info.flags = reply.u16(io::kOffCreateFlags);
+  const auto instance =
+      static_cast<io::InstanceId>(reply.u16(io::kOffCreateInstance));
+  // Open may have been forwarded through several servers; the reply names
+  // the one that finally implements the instance, and all further I/O goes
+  // straight to it without remapping (paper section 4.2).
+  const ipc::ProcessId server{reply.u32(io::kOffCreateServerPid)};
+  const naming::ContextPair directory{server,
+                                      reply.u32(io::kOffCreateContextId)};
+  co_return OpenedFile{File(self_, server, instance, info), directory};
+}
+
+sim::Co<Result<File>> Rt::open(std::string_view name, std::uint16_t mode) {
+  auto opened = co_await open_detailed(name, mode);
+  if (!opened.ok()) co_return opened.code();
+  co_return opened.take().file;
+}
+
+namespace {
+/// Split a name into (directory-part, leaf).  An empty directory means
+/// "interpret in the current context" — nothing cacheable.
+struct SplitName {
+  std::string_view dir;
+  std::string_view leaf;
+};
+SplitName split_dir_leaf(std::string_view name) {
+  const auto slash = name.rfind('/');
+  if (slash != std::string_view::npos) {
+    return {name.substr(0, slash), name.substr(slash + 1)};
+  }
+  if (naming::has_prefix_syntax(name)) {
+    const auto close = name.find(naming::kPrefixClose);
+    if (close != std::string_view::npos) {
+      return {name.substr(0, close + 1), name.substr(close + 1)};
+    }
+  }
+  return {std::string_view{}, name};
+}
+}  // namespace
+
+sim::Co<Result<File>> Rt::open_cached(NameCache& cache,
+                                      std::string_view name,
+                                      std::uint16_t mode) {
+  const SplitName split = split_dir_leaf(name);
+  if (!split.dir.empty()) {
+    if (auto hit = cache.find(split.dir)) {
+      // Skip interpretation of the directory part: address the cached
+      // context directly with the leaf alone.
+      const naming::ContextPair saved = env_.current;
+      env_.current = *hit;
+      auto direct = co_await open_detailed(split.leaf, mode);
+      env_.current = saved;
+      if (direct.ok()) co_return direct.take().file;
+      if (direct.code() == ReplyCode::kInvalidContext ||
+          direct.code() == ReplyCode::kNoReply) {
+        cache.erase(split.dir);  // stale: fall through to a full walk
+      } else {
+        // Possibly a WRONG answer if the context id was silently reused —
+        // the inconsistency the paper warns about; we cannot detect it.
+        co_return direct.code();
+      }
+    }
+  }
+  auto full = co_await open_detailed(name, mode);
+  if (!full.ok()) co_return full.code();
+  auto opened = full.take();
+  if (!split.dir.empty() && opened.directory.valid()) {
+    cache.put(split.dir, opened.directory);
+  }
+  co_return opened.file;
+}
+
+namespace {
+/// Decode a buffer of concatenated descriptor records.
+std::vector<ObjectDescriptor> decode_records(
+    const std::vector<std::byte>& data) {
+  std::vector<ObjectDescriptor> records;
+  for (std::size_t off = 0; off + ObjectDescriptor::kWireSize <= data.size();
+       off += ObjectDescriptor::kWireSize) {
+    auto rec = ObjectDescriptor::decode(
+        std::span(data).subspan(off, ObjectDescriptor::kWireSize));
+    if (rec.ok()) records.push_back(rec.take());
+  }
+  return records;
+}
+}  // namespace
+
+sim::Co<Result<std::vector<naming::ObjectDescriptor>>> Rt::list_matching(
+    std::string_view ctx_name, std::string_view pattern) {
+  std::string name(ctx_name);
+  if (!name.empty() && name.back() != '/' &&
+      name.back() != naming::kPrefixClose) {
+    name.push_back('/');
+  }
+  name.append(pattern);
+  auto opened = co_await open(
+      name, naming::wire::kOpenRead | naming::wire::kOpenDirectory |
+                naming::wire::kOpenPattern);
+  if (!opened.ok()) co_return opened.code();
+  File dir = opened.take();
+  auto bytes = co_await dir.read_all();
+  const ReplyCode closed = co_await dir.close();
+  if (!bytes.ok()) co_return bytes.code();
+  if (!v::ok(closed)) co_return closed;
+  co_return decode_records(bytes.value());
+}
+
+sim::Co<Result<std::vector<naming::ObjectDescriptor>>> Rt::list_context(
+    std::string_view name) {
+  auto opened = co_await open(name, naming::wire::kOpenRead |
+                                        naming::wire::kOpenDirectory);
+  if (!opened.ok()) co_return opened.code();
+  File dir = opened.take();
+  auto bytes = co_await dir.read_all();
+  const ReplyCode closed = co_await dir.close();
+  if (!bytes.ok()) co_return bytes.code();
+  if (!v::ok(closed)) co_return closed;
+  co_return decode_records(bytes.value());
+}
+
+sim::Co<Result<naming::ContextPair>> Rt::map_context(std::string_view name) {
+  Message request;
+  request.set_code(RequestCode::kMapContextName);
+  const Message reply = co_await send_csname(request, name);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  co_return naming::wire::get_map_reply(reply);
+}
+
+sim::Co<ReplyCode> Rt::change_context(std::string_view name) {
+  auto mapped = co_await map_context(name);
+  if (!mapped.ok()) co_return mapped.code();
+  env_.current = mapped.value();
+  co_return ReplyCode::kOk;
+}
+
+sim::Co<Result<naming::ObjectDescriptor>> Rt::query(std::string_view name) {
+  Message request;
+  request.set_code(RequestCode::kQueryName);
+  std::array<std::byte, ObjectDescriptor::kWireSize> record{};
+  const Message reply = co_await send_csname(request, name, {}, record);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  co_return ObjectDescriptor::decode(record);
+}
+
+sim::Co<ReplyCode> Rt::modify(std::string_view name,
+                              const naming::ObjectDescriptor& desc) {
+  Message request;
+  request.set_code(RequestCode::kModifyName);
+  std::array<std::byte, ObjectDescriptor::kWireSize> record{};
+  desc.encode(record);
+  const Message reply = co_await send_csname(request, name, record);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::remove(std::string_view name) {
+  Message request;
+  request.set_code(RequestCode::kRemoveName);
+  const Message reply = co_await send_csname(request, name);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::rename(std::string_view name,
+                              std::string_view new_leaf) {
+  Message request;
+  request.set_code(RequestCode::kRenameName);
+  request.set_u16(naming::wire::kOffRenameNewLength,
+                  static_cast<std::uint16_t>(new_leaf.size()));
+  const Message reply = co_await send_csname(
+      request, name,
+      std::as_bytes(std::span(new_leaf.data(), new_leaf.size())));
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::create(std::string_view name, std::uint16_t mode) {
+  Message request;
+  request.set_code(RequestCode::kCreateName);
+  msg::cs::set_mode(request, mode);
+  const Message reply = co_await send_csname(request, name);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::make_context(std::string_view name) {
+  Message request;
+  request.set_code(RequestCode::kMakeContext);
+  const Message reply = co_await send_csname(request, name);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::link(std::string_view name,
+                            naming::ContextPair target) {
+  Message request;
+  request.set_code(RequestCode::kLinkContext);
+  request.set_u32(naming::wire::kOffLinkServerPid, target.server.raw);
+  request.set_u32(naming::wire::kOffLinkContextId, target.context);
+  const Message reply = co_await send_csname(request, name);
+  co_return reply.reply_code();
+}
+
+std::string Rt::bracket(std::string_view prefix) {
+  if (naming::has_prefix_syntax(prefix)) return std::string(prefix);
+  std::string name;
+  name.reserve(prefix.size() + 2);
+  name.push_back(naming::kPrefixOpen);
+  name.append(prefix);
+  name.push_back(naming::kPrefixClose);
+  return name;
+}
+
+sim::Co<ReplyCode> Rt::add_prefix(std::string_view prefix,
+                                  naming::ContextPair target) {
+  Message request;
+  request.set_code(RequestCode::kAddContextName);
+  request.set_u32(naming::wire::kOffAddServerPid, target.server.raw);
+  request.set_u32(naming::wire::kOffAddContextId, target.context);
+  const std::string bracketed = bracket(prefix);
+  const Message reply = co_await send_csname(request, bracketed);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::add_logical_prefix(std::string_view prefix,
+                                          ipc::ServiceId service,
+                                          naming::ContextId context) {
+  Message request;
+  request.set_code(RequestCode::kAddContextName);
+  request.set_u32(naming::wire::kOffAddContextId, context);
+  request.set_u16(naming::wire::kOffAddFlags, naming::wire::kAddFlagLogical);
+  request.set_u16(naming::wire::kOffAddService,
+                  static_cast<std::uint16_t>(service));
+  const std::string bracketed = bracket(prefix);
+  const Message reply = co_await send_csname(request, bracketed);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::add_group_prefix(std::string_view prefix,
+                                        ipc::GroupId group,
+                                        naming::ContextId context) {
+  Message request;
+  request.set_code(RequestCode::kAddContextName);
+  request.set_u32(naming::wire::kOffAddServerPid, group);
+  request.set_u32(naming::wire::kOffAddContextId, context);
+  request.set_u16(naming::wire::kOffAddFlags, naming::wire::kAddFlagGroup);
+  const std::string bracketed = bracket(prefix);
+  const Message reply = co_await send_csname(request, bracketed);
+  co_return reply.reply_code();
+}
+
+sim::Co<ReplyCode> Rt::delete_prefix(std::string_view prefix) {
+  Message request;
+  request.set_code(RequestCode::kDeleteContextName);
+  const std::string bracketed = bracket(prefix);
+  const Message reply = co_await send_csname(request, bracketed);
+  co_return reply.reply_code();
+}
+
+sim::Co<Result<std::string>> Rt::context_name(naming::ContextPair ctx) {
+  co_await self_.compute(self_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kGetContextName);
+  request.set_u32(naming::wire::kOffInvContextId, ctx.context);
+  std::vector<std::byte> buffer(naming::kMaxNameLength);
+  ipc::Segments segments;
+  segments.write = buffer;
+  const Message reply = co_await self_.send(request, ctx.server, segments);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  const std::uint16_t len = reply.u16(naming::wire::kOffInvNameLength);
+  if (len > buffer.size()) co_return ReplyCode::kBadArgs;
+  co_return std::string(reinterpret_cast<const char*>(buffer.data()), len);
+}
+
+sim::Co<Result<std::string>> Rt::file_name(ipc::ProcessId server,
+                                           io::InstanceId instance) {
+  co_await self_.compute(self_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kGetFileName);
+  request.set_u16(naming::wire::kOffInvInstanceId, instance);
+  std::vector<std::byte> buffer(naming::kMaxNameLength);
+  ipc::Segments segments;
+  segments.write = buffer;
+  const Message reply = co_await self_.send(request, server, segments);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  const std::uint16_t len = reply.u16(naming::wire::kOffInvNameLength);
+  if (len > buffer.size()) co_return ReplyCode::kBadArgs;
+  co_return std::string(reinterpret_cast<const char*>(buffer.data()), len);
+}
+
+}  // namespace v::svc

@@ -1,0 +1,172 @@
+// The standard run-time routines (paper section 6).
+//
+// "Application programs are written using a procedural interface to system
+// services provided by a collection of stub routines."  Rt is that
+// collection for one program:
+//
+//   * it carries the program's current context (a program "is passed a
+//     process identifier and context identifier specifying its current
+//     context" and can change it, like Unix chdir);
+//   * every CSname stub checks whether the name starts with the standard
+//     context prefix character '[' — if so the request goes to the
+//     workstation's context prefix server, otherwise straight to the server
+//     implementing the current context (the '['-check localized here is the
+//     paper's "single common routine").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "ipc/kernel.hpp"
+#include "msg/csname.hpp"
+#include "msg/message.hpp"
+#include "naming/descriptor.hpp"
+#include "naming/types.hpp"
+#include "svc/file.hpp"
+#include "svc/name_cache.hpp"
+
+namespace v::svc {
+
+/// A program's naming environment.
+struct NameEnv {
+  ipc::ProcessId prefix_server;   ///< this workstation's context prefix server
+  naming::ContextPair current;    ///< current context
+};
+
+class Rt {
+ public:
+  Rt(ipc::Process self, NameEnv env) noexcept : self_(self), env_(env) {}
+
+  /// Build an Rt by resolving the local context prefix server with GetPid.
+  /// `current` is the program's initial current context.
+  [[nodiscard]] static sim::Co<Rt> attach(ipc::Process self,
+                                          naming::ContextPair current);
+
+  [[nodiscard]] const naming::ContextPair& current() const noexcept {
+    return env_.current;
+  }
+  void set_current(naming::ContextPair ctx) noexcept { env_.current = ctx; }
+  [[nodiscard]] ipc::ProcessId prefix_server() const noexcept {
+    return env_.prefix_server;
+  }
+  [[nodiscard]] ipc::Process process() const noexcept { return self_; }
+
+  // --- core routing ----------------------------------------------------------
+
+  /// Send a CSname request carrying `name` (plus optional payload bytes
+  /// after the name in the read segment, and a write segment for bulk
+  /// replies), routed per the prefix convention.  Sets the standard CSname
+  /// fields; the caller fills the variant part.
+  [[nodiscard]] sim::Co<msg::Message> send_csname(
+      msg::Message request, std::string_view name,
+      std::span<const std::byte> payload = {},
+      std::span<std::byte> write_segment = {});
+
+  // --- file-like objects -------------------------------------------------------
+
+  /// Open `name` (kCreateInstance).  Mode bits: naming::wire::OpenMode.
+  [[nodiscard]] sim::Co<Result<File>> open(std::string_view name,
+                                           std::uint16_t mode);
+
+  /// An open result plus the (server, context) the leaf was interpreted
+  /// in — what a name cache remembers for the directory part.
+  struct OpenedFile {
+    File file;
+    naming::ContextPair directory;
+  };
+  [[nodiscard]] sim::Co<Result<OpenedFile>> open_detailed(
+      std::string_view name, std::uint16_t mode);
+
+  /// Open with a client-side name cache (the section 2.2 ablation; see
+  /// svc/name_cache.hpp for the hazards).  Cache hits skip interpretation
+  /// of the directory part; kInvalidContext/kNoReply invalidate and retry
+  /// the full path.
+  [[nodiscard]] sim::Co<Result<File>> open_cached(NameCache& cache,
+                                                  std::string_view name,
+                                                  std::uint16_t mode);
+
+  /// Open the context directory of `name` ("" = current context) and read
+  /// all its description records (the "list directory" flow of section 6).
+  [[nodiscard]] sim::Co<Result<std::vector<naming::ObjectDescriptor>>>
+  list_context(std::string_view name = "");
+
+  /// Section 5.6 pattern extension: read only the records of `ctx_name`
+  /// whose names match the glob `pattern` — the server filters before
+  /// fabricating and shipping anything.
+  [[nodiscard]] sim::Co<Result<std::vector<naming::ObjectDescriptor>>>
+  list_matching(std::string_view ctx_name, std::string_view pattern);
+
+  // --- names and contexts --------------------------------------------------------
+
+  /// Map a context-naming CSname to its (server-pid, context-id) pair.
+  [[nodiscard]] sim::Co<Result<naming::ContextPair>> map_context(
+      std::string_view name);
+
+  /// Change the current context ("analogous to the change directory
+  /// function in Unix").
+  [[nodiscard]] sim::Co<ReplyCode> change_context(std::string_view name);
+
+  /// Query the named object's description record.
+  [[nodiscard]] sim::Co<Result<naming::ObjectDescriptor>> query(
+      std::string_view name);
+
+  /// Overwrite the named object's modifiable description fields.
+  [[nodiscard]] sim::Co<ReplyCode> modify(
+      std::string_view name, const naming::ObjectDescriptor& desc);
+
+  [[nodiscard]] sim::Co<ReplyCode> remove(std::string_view name);
+  [[nodiscard]] sim::Co<ReplyCode> rename(std::string_view name,
+                                          std::string_view new_leaf);
+  [[nodiscard]] sim::Co<ReplyCode> create(std::string_view name,
+                                          std::uint16_t mode = 0);
+  [[nodiscard]] sim::Co<ReplyCode> make_context(std::string_view name);
+
+  /// Bind `name` inside its server's name space to `target` — a
+  /// cross-server context pointer (Figure 4's curved arrow).
+  [[nodiscard]] sim::Co<ReplyCode> link(std::string_view name,
+                                        naming::ContextPair target);
+
+  // --- context prefix management (optional protocol ops) -----------------------
+
+  /// Define "[prefix]..." to name `target` (sent to the prefix server).
+  [[nodiscard]] sim::Co<ReplyCode> add_prefix(std::string_view prefix,
+                                              naming::ContextPair target);
+
+  /// Define a logical prefix bound to a *service*: the prefix server
+  /// performs GetPid each time the name is used (paper section 6).
+  [[nodiscard]] sim::Co<ReplyCode> add_logical_prefix(
+      std::string_view prefix, ipc::ServiceId service,
+      naming::ContextId context = naming::kDefaultContext);
+
+  /// Define a prefix naming a context implemented by a process GROUP
+  /// (paper section 7): requests multicast to the group; the first member
+  /// to answer wins.
+  [[nodiscard]] sim::Co<ReplyCode> add_group_prefix(
+      std::string_view prefix, ipc::GroupId group,
+      naming::ContextId context = naming::kDefaultContext);
+
+  [[nodiscard]] sim::Co<ReplyCode> delete_prefix(std::string_view prefix);
+
+  // --- inverse mappings ---------------------------------------------------------
+
+  /// Name of a context from its (server, id) pair — may fail with
+  /// kNoInverse (section 6 discusses why).
+  [[nodiscard]] sim::Co<Result<std::string>> context_name(
+      naming::ContextPair ctx);
+
+  /// Name of an open instance (the "absolute name of an open file").
+  [[nodiscard]] sim::Co<Result<std::string>> file_name(
+      ipc::ProcessId server, io::InstanceId instance);
+
+ private:
+  static std::string bracket(std::string_view prefix);
+
+  ipc::Process self_;
+  NameEnv env_;
+};
+
+}  // namespace v::svc

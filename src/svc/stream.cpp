@@ -1,0 +1,139 @@
+#include "svc/stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace v::svc {
+
+sim::Co<ReplyCode> Stream::fill() {
+  const std::size_t block_bytes = file_.block_bytes();
+  const auto block = static_cast<std::uint32_t>(position_ / block_bytes);
+  if (block == buffer_block_) co_return ReplyCode::kOk;
+  auto got = co_await file_.read_block(
+      block, std::span(buffer_).first(block_bytes));
+  if (!got.ok()) {
+    if (got.code() == ReplyCode::kEndOfFile) {
+      buffer_block_ = block;
+      buffer_len_ = 0;
+      eof_ = true;
+      co_return ReplyCode::kOk;
+    }
+    co_return got.code();
+  }
+  buffer_block_ = block;
+  buffer_len_ = got.value();
+  co_return ReplyCode::kOk;
+}
+
+sim::Co<Result<std::size_t>> Stream::read(std::span<std::byte> out) {
+  std::size_t produced = 0;
+  const std::size_t block_bytes = file_.block_bytes();
+  while (produced < out.size()) {
+    const auto filled = co_await fill();
+    if (!v::ok(filled)) co_return filled;
+    const std::size_t in_block = position_ % block_bytes;
+    if (in_block >= buffer_len_) {
+      eof_ = true;
+      break;  // past the valid bytes of the final block
+    }
+    const std::size_t n =
+        std::min(out.size() - produced, buffer_len_ - in_block);
+    std::memcpy(out.data() + produced, buffer_.data() + in_block, n);
+    produced += n;
+    position_ += n;
+    if (buffer_len_ < block_bytes && position_ % block_bytes == 0) {
+      // The block was short: that was the end of the stream.
+      eof_ = true;
+      break;
+    }
+  }
+  co_return produced;
+}
+
+sim::Co<Result<std::string>> Stream::read_line() {
+  if (eof_) co_return ReplyCode::kEndOfFile;
+  std::string line;
+  const std::size_t block_bytes = file_.block_bytes();
+  for (;;) {
+    const auto filled = co_await fill();
+    if (!v::ok(filled)) co_return filled;
+    const std::size_t in_block = position_ % block_bytes;
+    if (in_block >= buffer_len_) {
+      eof_ = true;
+      if (line.empty()) co_return ReplyCode::kEndOfFile;
+      co_return line;  // final unterminated line
+    }
+    const auto* begin =
+        reinterpret_cast<const char*>(buffer_.data()) + in_block;
+    const std::size_t available = buffer_len_ - in_block;
+    const auto* newline =
+        static_cast<const char*>(std::memchr(begin, '\n', available));
+    if (newline != nullptr) {
+      const std::size_t n = static_cast<std::size_t>(newline - begin);
+      line.append(begin, n);
+      position_ += n + 1;  // consume the newline
+      co_return line;
+    }
+    line.append(begin, available);
+    position_ += available;
+    if (buffer_len_ < block_bytes) {
+      eof_ = true;
+      if (line.empty()) co_return ReplyCode::kEndOfFile;
+      co_return line;
+    }
+  }
+}
+
+sim::Co<Result<std::string>> Stream::read_rest() {
+  std::string rest;
+  std::array<std::byte, 512> chunk{};
+  for (;;) {
+    auto got = co_await read(chunk);
+    if (!got.ok()) co_return got.code();
+    rest.append(reinterpret_cast<const char*>(chunk.data()), got.value());
+    if (got.value() < chunk.size()) break;
+  }
+  co_return rest;
+}
+
+sim::Co<ReplyCode> Stream::append(std::string_view text) {
+  const auto refreshed = co_await file_.refresh();
+  if (!v::ok(refreshed)) co_return refreshed;
+  const std::size_t block_bytes = file_.block_bytes();
+  std::size_t offset = file_.size();
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const std::uint32_t block =
+        static_cast<std::uint32_t>(offset / block_bytes);
+    const std::size_t in_block = offset % block_bytes;
+    const std::size_t n =
+        std::min(block_bytes - in_block, text.size() - written);
+    if (in_block == 0) {
+      auto wrote = co_await file_.write_block(
+          block, std::as_bytes(std::span(text.data() + written, n)));
+      if (!wrote.ok()) co_return wrote.code();
+    } else {
+      // Partial tail block: read-modify-write.  Requires a readable
+      // instance — failing loudly beats silently zeroing earlier bytes.
+      std::array<std::byte, 4096> merged{};
+      auto got = co_await file_.read_block(
+          block, std::span(merged).first(block_bytes));
+      if (!got.ok() && got.code() != ReplyCode::kEndOfFile) {
+        co_return got.code();
+      }
+      const std::size_t have = got.ok() ? got.value() : 0;
+      std::memcpy(merged.data() + in_block, text.data() + written, n);
+      auto wrote = co_await file_.write_block(
+          block,
+          std::span<const std::byte>(merged.data(),
+                                     std::max(have, in_block + n)));
+      if (!wrote.ok()) co_return wrote.code();
+    }
+    written += n;
+    offset += n;
+  }
+  buffer_block_ = kNoBlock;  // server content changed under the buffer
+  co_return ReplyCode::kOk;
+}
+
+}  // namespace v::svc

@@ -1,0 +1,65 @@
+// Byte-stream view over an open File — the client-side "session protocol"
+// convenience of the V I/O protocol (paper section 3.2: the I/O protocol
+// provides "uniform connection of program input and output to a variety of
+// data sources and sinks").
+//
+// Stream keeps a one-block buffer and exposes byte/line-oriented reads and
+// appends over the block-oriented instance operations, so application code
+// (the executive, mail readers, ...) need not think in blocks.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+#include "svc/file.hpp"
+
+namespace v::svc {
+
+class Stream {
+ public:
+  explicit Stream(File file) : file_(std::move(file)) {}
+
+  [[nodiscard]] File& file() noexcept { return file_; }
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+  [[nodiscard]] bool eof() const noexcept { return eof_; }
+
+  /// Read up to `out.size()` bytes from the current position.  Returns the
+  /// count (0 at end of stream).
+  [[nodiscard]] sim::Co<Result<std::size_t>> read(std::span<std::byte> out);
+
+  /// Read bytes up to and excluding the next '\n' (which is consumed).
+  /// Returns nullopt-like kEndOfFile when the stream is exhausted.
+  [[nodiscard]] sim::Co<Result<std::string>> read_line();
+
+  /// Read the remainder of the stream as a string.
+  [[nodiscard]] sim::Co<Result<std::string>> read_rest();
+
+  /// Append `text` at the current end of the stream (write-through).
+  [[nodiscard]] sim::Co<ReplyCode> append(std::string_view text);
+
+  /// Reposition the read cursor (no server interaction).
+  void seek(std::size_t position) noexcept {
+    position_ = position;
+    eof_ = false;
+    buffer_block_ = kNoBlock;
+  }
+
+  /// Release the underlying instance.
+  [[nodiscard]] sim::Co<ReplyCode> close() { return file_.close(); }
+
+ private:
+  static constexpr std::uint32_t kNoBlock = 0xffffffff;
+
+  /// Ensure buffer_ holds the block containing `position_`.
+  [[nodiscard]] sim::Co<ReplyCode> fill();
+
+  File file_;
+  std::size_t position_ = 0;
+  bool eof_ = false;
+  std::uint32_t buffer_block_ = kNoBlock;
+  std::size_t buffer_len_ = 0;
+  std::array<std::byte, 4096> buffer_{};  // >= any server block size
+};
+
+}  // namespace v::svc

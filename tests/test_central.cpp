@@ -1,0 +1,169 @@
+// Tests for the centralized-name-server baseline (paper section 2.1) and
+// the failure modes section 2.2 attributes to it.
+#include <gtest/gtest.h>
+
+#include "baseline/central.hpp"
+#include "naming/protocol.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using baseline::Binding;
+using baseline::CentralClient;
+using baseline::CentralNameServer;
+using naming::wire::kOpenRead;
+using sim::Co;
+using sim::kMillisecond;
+using test::VFixture;
+
+struct CentralFixture : test::VFixture {
+  CentralFixture() : ns_host(dom.add_host("ns1")) {
+    ns_pid = ns_host.spawn("central-ns",
+                           [this](ipc::Process p) { return ns.run(p); });
+  }
+  ipc::Host& ns_host;
+  CentralNameServer ns;
+  ipc::ProcessId ns_pid;
+};
+
+TEST(CentralBaseline, RegisterLookupUnregister) {
+  CentralFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    CentralClient nc(self, fx.ns_pid);
+    const Binding binding{{fx.alpha_pid, fx.alpha.context_of("usr/mann")},
+                          "naming.mss"};
+    EXPECT_EQ(co_await nc.register_name("/alpha/usr/mann/naming.mss",
+                                        binding),
+              ReplyCode::kOk);
+    auto found = co_await nc.lookup("/alpha/usr/mann/naming.mss");
+    EXPECT_TRUE(found.ok());
+    if (found.ok()) {
+      EXPECT_EQ(found.value().home.server, fx.alpha_pid);
+      EXPECT_EQ(found.value().leaf, "naming.mss");
+    }
+    auto count = co_await nc.count();
+    EXPECT_TRUE(count.ok());
+    EXPECT_EQ(count.value(), 1u);
+    EXPECT_EQ(co_await nc.unregister_name("/alpha/usr/mann/naming.mss"),
+              ReplyCode::kOk);
+    EXPECT_EQ((co_await nc.lookup("/alpha/usr/mann/naming.mss")).code(),
+              ReplyCode::kNotFound);
+  });
+}
+
+TEST(CentralBaseline, ResolvedBindingOpensAtHomeServer) {
+  CentralFixture fx;
+  fx.ns.preload("/alpha/usr/mann/naming.mss",
+                {{fx.alpha_pid, fx.alpha.context_of("usr/mann")},
+                 "naming.mss"});
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    CentralClient nc(self, fx.ns_pid);
+    auto found = co_await nc.lookup("/alpha/usr/mann/naming.mss");
+    EXPECT_TRUE(found.ok());
+    if (!found.ok()) co_return;
+    rt.set_current(found.value().home);
+    auto opened = co_await rt.open(found.value().leaf, kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+}
+
+TEST(CentralBaseline, DeletionLeavesStaleBinding) {
+  // Section 2.2 "Consistency": deleting the object at its home server does
+  // not update the name server; the registry now lies.
+  CentralFixture fx;
+  fx.ns.preload("/alpha/usr/mann/paper.mss",
+                {{fx.alpha_pid, fx.alpha.context_of("usr/mann")},
+                 "paper.mss"});
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    CentralClient nc(self, fx.ns_pid);
+    // Delete through the distributed protocol (name dies with the object).
+    EXPECT_EQ(co_await rt.remove("usr/mann/paper.mss"), ReplyCode::kOk);
+    // The central registry still resolves the name...
+    auto stale = co_await nc.lookup("/alpha/usr/mann/paper.mss");
+    EXPECT_TRUE(stale.ok());
+    // ...but acting on the binding fails: the registry was inconsistent.
+    if (stale.ok()) {
+      rt.set_current(stale.value().home);
+      auto opened = co_await rt.open(stale.value().leaf, kOpenRead);
+      EXPECT_EQ(opened.code(), ReplyCode::kNotFound);
+    }
+  });
+}
+
+TEST(CentralBaseline, NameServerCrashMakesReachableObjectsUnnameable) {
+  // Section 2.2 "Reliability": the name server is a central failure point.
+  CentralFixture fx;
+  fx.ns.preload("/alpha/usr/mann/naming.mss",
+                {{fx.alpha_pid, fx.alpha.context_of("usr/mann")},
+                 "naming.mss"});
+  fx.dom.loop().schedule_at(5 * kMillisecond, [&fx] { fx.ns_host.crash(); });
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    co_await self.delay(10 * kMillisecond);
+    CentralClient nc(self, fx.ns_pid);
+    // Central model: lookup fails although alpha is perfectly healthy.
+    auto found = co_await nc.lookup("/alpha/usr/mann/naming.mss");
+    EXPECT_EQ(found.code(), ReplyCode::kNoReply);
+    // Distributed model: the same object remains nameable (prefix server is
+    // local; interpretation happens at the object's own server).
+    auto opened = co_await rt.open("[home]naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+}
+
+TEST(CentralBaseline, LookupCostsOneExtraTransaction) {
+  // Section 2.2 "Efficiency": every fresh central-model resolution pays one
+  // extra server interaction compared to direct interpretation.
+  CentralFixture fx;
+  fx.ns.preload("/alpha/usr/mann/naming.mss",
+                {{fx.alpha_pid, fx.alpha.context_of("usr/mann")},
+                 "naming.mss"});
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    CentralClient nc(self, fx.ns_pid);
+    // Central path: lookup + open.
+    auto t0 = self.now();
+    auto found = co_await nc.lookup("/alpha/usr/mann/naming.mss");
+    EXPECT_TRUE(found.ok());
+    if (!found.ok()) co_return;
+    rt.set_current(found.value().home);
+    auto opened = co_await rt.open(found.value().leaf, kOpenRead);
+    const auto central_cost = self.now() - t0;
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    // Distributed path: one request, interpreted where the object lives.
+    rt.set_current({fx.alpha_pid, naming::kDefaultContext});
+    t0 = self.now();
+    auto direct = co_await rt.open("usr/mann/naming.mss", kOpenRead);
+    const auto distributed_cost = self.now() - t0;
+    EXPECT_TRUE(direct.ok());
+    if (direct.ok()) {
+      svc::File f = direct.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    EXPECT_GT(central_cost, distributed_cost);
+  });
+}
+
+TEST(CentralBaseline, UnknownOpRejected) {
+  CentralFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    msg::Message request;
+    request.set_code(0x0399);
+    const auto reply = co_await self.send(request, fx.ns_pid);
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kIllegalRequest);
+  });
+}
+
+}  // namespace
+}  // namespace v

@@ -1,0 +1,126 @@
+// Tests for the exception server: raising reports, uniform access to them
+// as named objects, and dismissal.
+#include <gtest/gtest.h>
+
+#include "servers/exception_server.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::DescriptorType;
+using naming::wire::kOpenRead;
+using servers::ExceptionServer;
+using servers::FaultCode;
+using sim::Co;
+using test::VFixture;
+
+struct ExcFixture : VFixture {
+  ExcFixture() {
+    exc_pid = ws1.spawn("exception-server", [this](ipc::Process p) {
+      return exceptions.run(p);
+    });
+  }
+  ExceptionServer exceptions;
+  ipc::ProcessId exc_pid;
+};
+
+TEST(ExceptionServer, RaiseAndInspectThroughUniformOps) {
+  ExcFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    // The service is registered local-scope, as per-workstation servers are.
+    const auto found =
+        co_await self.get_pid(ipc::ServiceId::kExceptionServer,
+                              ipc::Scope::kLocal);
+    EXPECT_EQ(found, fx.exc_pid);
+
+    auto id = co_await ExceptionServer::raise(
+        self, fx.exc_pid, FaultCode::kAddressError, "bad pointer 0xdead");
+    EXPECT_TRUE(id.ok());
+
+    // The report is a named object: listable, queryable, readable.
+    rt.set_current({fx.exc_pid, naming::kDefaultContext});
+    auto records = co_await rt.list_context("");
+    EXPECT_TRUE(records.ok());
+    if (!records.ok()) co_return;
+    EXPECT_EQ(records.value().size(), 1u);
+    const auto& rec = records.value()[0];
+    EXPECT_EQ(rec.type, DescriptorType::kDevice);
+    EXPECT_EQ(rec.server_pid, self.pid().raw);  // the faulting process
+    EXPECT_EQ(rec.object_id & 0xffff,
+              static_cast<std::uint32_t>(FaultCode::kAddressError));
+
+    auto opened = co_await rt.open(rec.name, kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      auto text = co_await f.read_all();
+      EXPECT_TRUE(text.ok());
+      if (text.ok()) {
+        EXPECT_EQ(std::string(
+                      reinterpret_cast<const char*>(text.value().data()),
+                      text.value().size()),
+                  "bad pointer 0xdead");
+      }
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+
+    // Dismiss it through the uniform remove operation.
+    EXPECT_EQ(co_await rt.remove(rec.name), ReplyCode::kOk);
+    auto after = co_await rt.list_context("");
+    EXPECT_TRUE(after.ok());
+    if (after.ok()) {
+      EXPECT_TRUE(after.value().empty());
+    }
+  });
+  EXPECT_EQ(fx.exceptions.pending_count(), 0u);
+}
+
+TEST(ExceptionServer, MultipleReportsKeepDistinctNames) {
+  ExcFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      auto id = co_await ExceptionServer::raise(
+          self, fx.exc_pid, FaultCode::kResourceExhausted, "out of tables");
+      EXPECT_TRUE(id.ok());
+      if (id.ok()) {
+        EXPECT_EQ(id.value(), i + 1);
+      }
+    }
+    rt.set_current({fx.exc_pid, naming::kDefaultContext});
+    auto records = co_await rt.list_context("");
+    EXPECT_TRUE(records.ok());
+    if (records.ok()) {
+      EXPECT_EQ(records.value().size(), 5u);
+    }
+    // Pattern matching works here like everywhere else.
+    auto matched = co_await rt.list_matching("", "exc.*");
+    EXPECT_TRUE(matched.ok());
+    if (matched.ok()) {
+      EXPECT_EQ(matched.value().size(), 5u);
+    }
+  });
+}
+
+TEST(ExceptionServer, OversizedReportRejected) {
+  ExcFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    const std::string huge(1000, 'x');
+    auto id = co_await ExceptionServer::raise(self, fx.exc_pid,
+                                              FaultCode::kUnknown, huge);
+    EXPECT_EQ(id.code(), ReplyCode::kBadArgs);
+  });
+}
+
+TEST(ExceptionServer, UnknownOpRejected) {
+  ExcFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    msg::Message request;
+    request.set_code(0x0399);
+    const auto reply = co_await self.send(request, fx.exc_pid);
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kIllegalRequest);
+  });
+}
+
+}  // namespace
+}  // namespace v

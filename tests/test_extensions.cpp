@@ -1,0 +1,420 @@
+// Tests for the protocol extensions beyond the paper's implemented core:
+//   * forward-loop protection (cycles in the cross-server pointer graph),
+//   * pattern-matching context directories (section 5.6's proposed
+//     extension),
+// plus unit coverage of the glob matcher itself.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "naming/match.hpp"
+#include "naming/protocol.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::DescriptorType;
+using naming::glob_match;
+using naming::wire::kOpenRead;
+using sim::Co;
+using test::VFixture;
+
+// --- glob matcher -------------------------------------------------------------
+
+TEST(Glob, LiteralsMatchExactly) {
+  EXPECT_TRUE(glob_match("naming.mss", "naming.mss"));
+  EXPECT_FALSE(glob_match("naming.mss", "naming.ms"));
+  EXPECT_FALSE(glob_match("naming.ms", "naming.mss"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Glob, QuestionMarkMatchesOneCharacter) {
+  EXPECT_TRUE(glob_match("?", "a"));
+  EXPECT_FALSE(glob_match("?", ""));
+  EXPECT_FALSE(glob_match("?", "ab"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+}
+
+TEST(Glob, StarMatchesAnyRun) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("*.mss", "naming.mss"));
+  EXPECT_FALSE(glob_match("*.mss", "naming.txt"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXcYYb"));
+  EXPECT_TRUE(glob_match("**", "x"));
+  EXPECT_TRUE(glob_match("a*", "a"));
+  EXPECT_TRUE(glob_match("*a", "aaa"));
+}
+
+TEST(Glob, BacktrackingCases) {
+  EXPECT_TRUE(glob_match("*aab", "aaaab"));
+  EXPECT_FALSE(glob_match("*aab", "aaab c"));
+  EXPECT_TRUE(glob_match("a*?b", "aXYb"));
+  EXPECT_FALSE(glob_match("a*?b", "ab"));
+}
+
+TEST(Glob, MetacharDetection) {
+  EXPECT_TRUE(naming::has_glob_chars("*.mss"));
+  EXPECT_TRUE(naming::has_glob_chars("a?c"));
+  EXPECT_FALSE(naming::has_glob_chars("plain-name.txt"));
+}
+
+// Property: a pattern built FROM a name by replacing runs with '*' and
+// single characters with '?' always matches that name.
+class GlobProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobProperty, DerivedPatternsMatchTheirSource) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31337u + 5u);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string name(1 + rng() % 12, '\0');
+    for (auto& c : name) c = static_cast<char>('a' + rng() % 4);
+    std::string pattern;
+    for (std::size_t i = 0; i < name.size();) {
+      switch (rng() % 3) {
+        case 0:
+          pattern += name[i];
+          ++i;
+          break;
+        case 1:
+          pattern += '?';
+          ++i;
+          break;
+        default: {
+          pattern += '*';
+          i += rng() % (name.size() - i + 1);  // swallow a run
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(glob_match(pattern, name))
+        << "pattern=" << pattern << " name=" << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobProperty, ::testing::Range(0, 8));
+
+// --- forward-loop protection -----------------------------------------------------
+
+TEST(ForwardLoop, TwoServerCycleTerminatesWithForwardLoop) {
+  VFixture fx;
+  // alpha:/loop -> beta root, beta:/loop -> alpha root; the name
+  // "loop/loop/loop/..." orbits between the servers.
+  fx.alpha.put_link("loopy", {fx.beta_pid, naming::kDefaultContext});
+  fx.beta.put_link("loopy", {fx.alpha_pid, naming::kDefaultContext});
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    std::string name;
+    for (int i = 0; i < 20; ++i) name += "loopy/";
+    name += "f.dat";
+    auto opened = co_await rt.open(name, kOpenRead);
+    EXPECT_EQ(opened.code(), ReplyCode::kForwardLoop);
+  });
+}
+
+TEST(ForwardLoop, SelfLinkTerminates) {
+  VFixture fx;
+  fx.alpha.put_link("self", {fx.alpha_pid, naming::kDefaultContext});
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    std::string name;
+    for (int i = 0; i < 20; ++i) name += "self/";
+    name += "missing";
+    auto opened = co_await rt.open(name, kOpenRead);
+    EXPECT_EQ(opened.code(), ReplyCode::kForwardLoop);
+  });
+}
+
+TEST(ForwardLoop, LegitimateDeepChainsStillWork) {
+  // Chains under the hop budget must be unaffected.
+  VFixture fx;
+  fx.alpha.put_link("hop1", {fx.beta_pid, naming::kDefaultContext});
+  fx.beta.put_link("hop2", {fx.alpha_pid, fx.alpha.context_of("usr/mann")});
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto opened = co_await rt.open("hop1/hop2/naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+}
+
+// Property: with a RANDOM link graph (cycles likely), every lookup
+// terminates — either resolving, failing cleanly, or kForwardLoop.
+class RandomLinkGraph : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLinkGraph, InterpretationAlwaysTerminates) {
+  VFixture fx;
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2654435761u + 3u);
+  // A third server enriches the graph.
+  auto& fs3 = fx.dom.add_host("fs3");
+  servers::FileServer gamma("gamma", servers::DiskModel::kMemory, false);
+  gamma.put_file("g.dat", "gamma");
+  const auto gamma_pid =
+      fs3.spawn("gamma", [&](ipc::Process p) { return gamma.run(p); });
+
+  servers::FileServer* const servers_arr[] = {&fx.alpha, &fx.beta, &gamma};
+  const ipc::ProcessId pids[] = {fx.alpha_pid, fx.beta_pid, gamma_pid};
+  for (int i = 0; i < 6; ++i) {
+    auto& src = *servers_arr[rng() % 3];
+    const auto dst = rng() % 3;
+    src.put_link("link" + std::to_string(i),
+                 {pids[dst], naming::kDefaultContext});
+  }
+
+  fx.run_client([&](ipc::Process, svc::Rt rt) -> Co<void> {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::string name;
+      const int depth = 1 + static_cast<int>(rng() % 12);
+      for (int d = 0; d < depth; ++d) {
+        name += "link" + std::to_string(rng() % 6) + "/";
+      }
+      name += "g.dat";
+      auto opened = co_await rt.open(name, kOpenRead);
+      // Any clean outcome is fine; the assertion is TERMINATION (the
+      // simulation draining) plus a sane reply code.
+      EXPECT_TRUE(opened.ok() || opened.code() == ReplyCode::kNotFound ||
+                  opened.code() == ReplyCode::kForwardLoop)
+          << to_string(opened.code()) << " for " << name;
+      if (opened.ok()) {
+        svc::File f = opened.take();
+        EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLinkGraph, ::testing::Range(0, 8));
+
+// --- pattern-matching context directories ------------------------------------------
+
+TEST(PatternDirectory, FiltersByGlob) {
+  VFixture fx;
+  fx.alpha.put_file("usr/mann/notes.txt", "n");
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto mss = co_await rt.list_matching("usr/mann", "*.mss");
+    EXPECT_TRUE(mss.ok());
+    if (mss.ok()) {
+      EXPECT_EQ(mss.value().size(), 2u);  // naming.mss, paper.mss
+      for (const auto& rec : mss.value()) {
+        EXPECT_TRUE(rec.name.ends_with(".mss")) << rec.name;
+      }
+    }
+    auto one = co_await rt.list_matching("usr/mann", "naming.*");
+    EXPECT_TRUE(one.ok());
+    if (one.ok()) {
+      EXPECT_EQ(one.value().size(), 1u);
+    }
+    auto none = co_await rt.list_matching("usr/mann", "*.zip");
+    EXPECT_TRUE(none.ok());
+    if (none.ok()) {
+      EXPECT_TRUE(none.value().empty());
+    }
+    auto all = co_await rt.list_matching("usr/mann", "*");
+    EXPECT_TRUE(all.ok());
+    if (all.ok()) {
+      EXPECT_EQ(all.value().size(), 4u);  // + proj link + notes.txt
+    }
+  });
+}
+
+TEST(PatternDirectory, WorksThroughPrefixes) {
+  VFixture fx;
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto records = co_await rt.list_matching("[home]", "*.mss");
+    EXPECT_TRUE(records.ok());
+    if (records.ok()) {
+      EXPECT_EQ(records.value().size(), 2u);
+    }
+  });
+}
+
+TEST(PatternDirectory, WorksOnNonFileServers) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process, svc::Rt rt) -> Co<void> {
+    rt.set_current({fx.prefix_pid, naming::kDefaultContext});
+    auto records = co_await rt.list_matching("", "b*");
+    EXPECT_TRUE(records.ok());
+    if (records.ok()) {
+      EXPECT_EQ(records.value().size(), 2u);  // beta, bin
+      for (const auto& rec : records.value()) {
+        EXPECT_EQ(rec.type, DescriptorType::kPrefix);
+      }
+    }
+  });
+}
+
+TEST(PatternDirectory, PatternCostScalesWithMatchesNotContextSize) {
+  // The point of the extension: the server fabricates/ships only what
+  // matches.
+  VFixture fx;
+  for (int i = 0; i < 128; ++i) {
+    fx.alpha.put_file("big/file" + std::to_string(i) + ".dat", "x");
+  }
+  fx.alpha.put_file("big/special.mss", "y");
+  fx.run_client([](ipc::Process self, svc::Rt rt) -> Co<void> {
+    auto t0 = self.now();
+    auto all = co_await rt.list_context("big");
+    const auto full_cost = self.now() - t0;
+    EXPECT_TRUE(all.ok());
+    if (all.ok()) {
+      EXPECT_EQ(all.value().size(), 129u);
+    }
+    t0 = self.now();
+    auto matched = co_await rt.list_matching("big", "*.mss");
+    const auto pattern_cost = self.now() - t0;
+    EXPECT_TRUE(matched.ok());
+    if (matched.ok()) {
+      EXPECT_EQ(matched.value().size(), 1u);
+    }
+    EXPECT_LT(pattern_cost * 5, full_cost);  // at least 5x cheaper here
+  });
+}
+
+// --- group-implemented contexts (paper section 7 future work) ------------------
+
+struct ReplicatedFixture : VFixture {
+  static constexpr ipc::GroupId kReplicas = 0x9001;
+
+  ReplicatedFixture() {
+    for (int i = 0; i < 3; ++i) {
+      auto& host = dom.add_host("replica-host" + std::to_string(i));
+      replicas.push_back(std::make_unique<servers::FileServer>(
+          "replica" + std::to_string(i), servers::DiskModel::kMemory,
+          /*register_service=*/false));
+      replicas.back()->put_file("shared/doc.txt", "replicated content");
+      replicas.back()->set_group(kReplicas);
+      replica_pids.push_back(host.spawn(
+          "replica" + std::to_string(i),
+          [srv = replicas.back().get()](ipc::Process p) {
+            return srv->run(p);
+          }));
+      replica_hosts.push_back(&host);
+    }
+    servers::ContextPrefixServer::Entry entry;
+    entry.group = kReplicas;
+    prefixes.define("repl", entry);
+  }
+
+  std::vector<std::unique_ptr<servers::FileServer>> replicas;
+  std::vector<ipc::ProcessId> replica_pids;
+  std::vector<ipc::Host*> replica_hosts;
+};
+
+TEST(GroupContext, OpenThroughGroupPrefixSticksToOneMember) {
+  ReplicatedFixture fx;
+  fx.run_client([&fx](ipc::Process, svc::Rt rt) -> Co<void> {
+    co_await rt.process().delay(sim::kMillisecond);  // members join
+    auto opened = co_await rt.open("[repl]shared/doc.txt", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (!opened.ok()) co_return;
+    svc::File f = opened.take();
+    // The instance lives at whichever replica answered first; subsequent
+    // I/O goes straight there (session stickiness).
+    bool from_replica = false;
+    for (const auto pid : fx.replica_pids) {
+      if (f.server() == pid) from_replica = true;
+    }
+    EXPECT_TRUE(from_replica);
+    auto bytes = co_await f.read_all();
+    EXPECT_TRUE(bytes.ok());
+    if (bytes.ok()) {
+      EXPECT_EQ(std::string(
+                    reinterpret_cast<const char*>(bytes.value().data()),
+                    bytes.value().size()),
+                "replicated content");
+    }
+    EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(GroupContext, SurvivesMemberCrashes) {
+  ReplicatedFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    co_await self.delay(sim::kMillisecond);
+    // Crash members one at a time; the NAME keeps working until the last
+    // replica dies.
+    for (std::size_t killed = 0; killed < fx.replica_hosts.size();
+         ++killed) {
+      auto opened = co_await rt.open("[repl]shared/doc.txt", kOpenRead);
+      EXPECT_TRUE(opened.ok()) << "with " << killed << " replicas dead";
+      if (opened.ok()) {
+        svc::File f = opened.take();
+        EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+      }
+      fx.replica_hosts[killed]->crash();
+    }
+    // All replicas dead: the group context times out cleanly.
+    auto opened = co_await rt.open("[repl]shared/doc.txt", kOpenRead);
+    EXPECT_EQ(opened.code(), ReplyCode::kTimeout);
+  });
+}
+
+TEST(GroupContext, AddGroupPrefixThroughProtocol) {
+  ReplicatedFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    co_await self.delay(sim::kMillisecond);
+    EXPECT_EQ(co_await rt.add_group_prefix("mirror",
+                                           ReplicatedFixture::kReplicas),
+              ReplyCode::kOk);
+    auto opened = co_await rt.open("[mirror]shared/doc.txt", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    // The entry is listed with the kGrouped flag.
+    rt.set_current({fx.prefix_pid, naming::kDefaultContext});
+    auto records = co_await rt.list_context("");
+    EXPECT_TRUE(records.ok());
+    if (!records.ok()) co_return;
+    bool saw = false;
+    for (const auto& rec : records.value()) {
+      if (rec.name == "mirror") {
+        saw = true;
+        EXPECT_NE(rec.flags & naming::kGrouped, 0);
+        EXPECT_EQ(rec.object_id, ReplicatedFixture::kReplicas);
+      }
+    }
+    EXPECT_TRUE(saw);
+  });
+}
+
+TEST(GroupContext, EmptyGroupTimesOut) {
+  VFixture fx;
+  servers::ContextPrefixServer::Entry entry;
+  entry.group = 0xdead;  // nobody ever joins
+  fx.prefixes.define("ghost", entry);
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto opened = co_await rt.open("[ghost]anything", kOpenRead);
+    EXPECT_EQ(opened.code(), ReplyCode::kTimeout);
+  });
+}
+
+TEST(GroupContext, FastestReplicaWins) {
+  // One replica is on the CLIENT's host; it answers first and all traffic
+  // sticks to it — multicast naming load-balances towards proximity.
+  ReplicatedFixture fx;
+  servers::FileServer local_replica("replica-local",
+                                    servers::DiskModel::kMemory, false);
+  local_replica.put_file("shared/doc.txt", "replicated content");
+  local_replica.set_group(ReplicatedFixture::kReplicas);
+  const auto local_pid = fx.ws1.spawn(
+      "replica-local",
+      [&](ipc::Process p) { return local_replica.run(p); });
+  fx.run_client([&](ipc::Process self, svc::Rt rt) -> Co<void> {
+    co_await self.delay(sim::kMillisecond);
+    auto opened = co_await rt.open("[repl]shared/doc.txt", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(f.server(), local_pid);  // the local member won the race
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace v

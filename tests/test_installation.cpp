@@ -1,0 +1,198 @@
+// Installation-scale test: the paper's own deployment (section 6) — about
+// 30 diskless SUN workstations and 7 VAX/UNIX file servers on one Ethernet,
+// each workstation running its own context prefix server (plus terminal and
+// team servers).  All workstations run a realistic mixed workload
+// concurrently; the test asserts global health, isolation and aggregate
+// sanity, at the scale the authors actually operated.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "naming/protocol.hpp"
+#include "servers/file_server.hpp"
+#include "servers/prefix_server.hpp"
+#include "servers/terminal_server.hpp"
+#include "servers/time_server.hpp"
+#include "svc/runtime.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenCreate;
+using naming::wire::kOpenRead;
+using naming::wire::kOpenWrite;
+using sim::Co;
+
+constexpr int kWorkstations = 30;
+constexpr int kFileServers = 7;
+
+TEST(Installation, ThirtyWorkstationsSevenFileServers) {
+  ipc::Domain dom;
+
+  // Seven storage servers, each with per-user home directories.
+  std::vector<std::unique_ptr<servers::FileServer>> file_servers;
+  std::vector<ipc::ProcessId> fs_pids;
+  for (int s = 0; s < kFileServers; ++s) {
+    auto& host = dom.add_host("vax" + std::to_string(s));
+    file_servers.push_back(std::make_unique<servers::FileServer>(
+        "vax" + std::to_string(s), servers::DiskModel::kMemory, s == 0));
+    for (int u = 0; u < kWorkstations; ++u) {
+      if (u % kFileServers == s) {
+        file_servers.back()->put_file(
+            "usr/user" + std::to_string(u) + "/profile", "settings");
+      }
+    }
+    file_servers.back()->put_file("bin/edit", std::string(2048, 'E'));
+    fs_pids.push_back(host.spawn(
+        "vax" + std::to_string(s),
+        [srv = file_servers.back().get()](ipc::Process p) {
+          return srv->run(p);
+        }));
+  }
+
+  // Thirty workstations: prefix server + terminal server + a user program.
+  std::vector<std::unique_ptr<servers::ContextPrefixServer>> prefix_servers;
+  std::vector<std::unique_ptr<servers::TerminalServer>> terminal_servers;
+  int finished = 0;
+  for (int u = 0; u < kWorkstations; ++u) {
+    auto& ws = dom.add_host("sun" + std::to_string(u));
+    const int home_fs = u % kFileServers;
+    prefix_servers.push_back(std::make_unique<servers::ContextPrefixServer>(
+        "user" + std::to_string(u)));
+    prefix_servers.back()->define(
+        "home", {.target = {fs_pids[static_cast<std::size_t>(home_fs)],
+                            file_servers[static_cast<std::size_t>(home_fs)]
+                                ->context_of("usr/user" +
+                                             std::to_string(u))}});
+    prefix_servers.back()->define(
+        "bin", {.target = {fs_pids[0],
+                           file_servers[0]->context_of("bin")}});
+    ws.spawn("prefix" + std::to_string(u),
+             [srv = prefix_servers.back().get()](ipc::Process p) {
+               return srv->run(p);
+             });
+    terminal_servers.push_back(std::make_unique<servers::TerminalServer>());
+    const auto vt_pid = ws.spawn(
+        "vgts" + std::to_string(u),
+        [srv = terminal_servers.back().get()](ipc::Process p) {
+          return srv->run(p);
+        });
+
+    ws.spawn("user" + std::to_string(u), [&, u, vt_pid, home_fs](
+                                             ipc::Process self) -> Co<void> {
+      auto rt = co_await svc::Rt::attach(
+          self,
+          {fs_pids[static_cast<std::size_t>(home_fs)],
+           naming::kDefaultContext});
+      // Stagger start-up like real users.
+      co_await self.delay(static_cast<sim::SimDuration>(u) *
+                          sim::kMillisecond);
+      // 1. Read own profile through [home].
+      auto profile = co_await rt.open("[home]profile", kOpenRead);
+      EXPECT_TRUE(profile.ok()) << "user " << u;
+      if (profile.ok()) {
+        svc::File f = profile.take();
+        auto bytes = co_await f.read_all();
+        EXPECT_TRUE(bytes.ok());
+        EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+      }
+      // 2. Load a shared program image from the common [bin].
+      auto editor = co_await rt.open("[bin]edit", kOpenRead);
+      EXPECT_TRUE(editor.ok()) << "user " << u;
+      if (editor.ok()) {
+        svc::File f = editor.take();
+        auto bytes = co_await f.read_bulk();
+        EXPECT_TRUE(bytes.ok());
+        if (bytes.ok()) {
+          EXPECT_EQ(bytes.value().size(), 2048u);
+        }
+        EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+      }
+      // 3. Write a scratch file into the home directory and list it.
+      auto scratch =
+          co_await rt.open("[home]scratch.txt", kOpenWrite | kOpenCreate);
+      EXPECT_TRUE(scratch.ok()) << "user " << u;
+      if (scratch.ok()) {
+        svc::File f = scratch.take();
+        const std::string note = "workstation " + std::to_string(u);
+        EXPECT_EQ(co_await f.write_all(std::as_bytes(
+                      std::span(note.data(), note.size()))),
+                  ReplyCode::kOk);
+        EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+      }
+      auto listing = co_await rt.list_context("[home]");
+      EXPECT_TRUE(listing.ok()) << "user " << u;
+      if (listing.ok()) {
+        EXPECT_EQ(listing.value().size(), 2u);  // profile + scratch.txt
+      }
+      // 4. Type into the local virtual terminal.
+      rt.set_current({vt_pid, naming::kDefaultContext});
+      auto vt = co_await rt.open("console", kOpenWrite | kOpenCreate);
+      EXPECT_TRUE(vt.ok()) << "user " << u;
+      if (vt.ok()) {
+        svc::File f = vt.take();
+        const std::string line = "% hello from sun" + std::to_string(u);
+        auto wrote = co_await f.write_block(
+            0, std::as_bytes(std::span(line.data(), line.size())));
+        EXPECT_TRUE(wrote.ok());
+        EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+      }
+      ++finished;
+    });
+  }
+
+  dom.run();
+  EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+  EXPECT_EQ(finished, kWorkstations);
+  // Isolation: every user's scratch file landed in exactly their own home.
+  for (int u = 0; u < kWorkstations; ++u) {
+    const auto& fs = *file_servers[static_cast<std::size_t>(
+        u % kFileServers)];
+    EXPECT_EQ(fs.read_file("usr/user" + std::to_string(u) +
+                           "/scratch.txt").value(),
+              "workstation " + std::to_string(u));
+  }
+  // Aggregate sanity: every terminal got exactly one line.
+  for (int u = 0; u < kWorkstations; ++u) {
+    EXPECT_EQ(terminal_servers[static_cast<std::size_t>(u)]
+                  ->terminal_count(),
+              1u);
+  }
+  // The whole storm stayed in transport bounds (structural counters).
+  EXPECT_GT(dom.stats().messages_sent, 400u);
+  EXPECT_EQ(dom.stats().forwards,
+            static_cast<std::uint64_t>(kWorkstations) * 4u);
+}
+
+TEST(Installation, SameInstallationOnAlternateCalibration) {
+  // Everything above is timing-calibrated to the SUN preset; the protocol
+  // must hold together on a wildly different cost model too.
+  ipc::Domain dom(ipc::CalibrationParams::SlowNetworkFastCpu());
+  auto& fs_host = dom.add_host("server");
+  servers::FileServer fs("fs");
+  fs.put_file("shared/readme", "portable across calibrations");
+  const auto fs_pid =
+      fs_host.spawn("fs", [&](ipc::Process p) { return fs.run(p); });
+  int finished = 0;
+  for (int u = 0; u < 8; ++u) {
+    auto& ws = dom.add_host("ws" + std::to_string(u));
+    ws.spawn("user" + std::to_string(u),
+             [&, fs_pid](ipc::Process self) -> Co<void> {
+               svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                                 {fs_pid, naming::kDefaultContext}});
+               auto opened = co_await rt.open("shared/readme", kOpenRead);
+               EXPECT_TRUE(opened.ok());
+               if (opened.ok()) {
+                 svc::File f = opened.take();
+                 EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+               }
+               ++finished;
+             });
+  }
+  dom.run();
+  EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+  EXPECT_EQ(finished, 8);
+}
+
+}  // namespace
+}  // namespace v

@@ -1,0 +1,89 @@
+// Tests for the V message standards: fixed 32-byte records, field packing,
+// the CSname standard header, and request-code classification.
+#include <gtest/gtest.h>
+
+#include "common/pack.hpp"
+#include "msg/csname.hpp"
+#include "msg/message.hpp"
+#include "msg/request_codes.hpp"
+
+namespace v::msg {
+namespace {
+
+TEST(Pack, U16RoundTripsAtAnyOffset) {
+  std::array<std::byte, 8> buf{};
+  for (std::size_t off = 0; off <= 6; ++off) {
+    put_u16(buf, off, 0xBEEF);
+    EXPECT_EQ(get_u16(buf, off), 0xBEEF);
+  }
+}
+
+TEST(Pack, U32IsLittleEndian) {
+  std::array<std::byte, 4> buf{};
+  put_u32(buf, 0, 0x01020304);
+  EXPECT_EQ(static_cast<unsigned>(buf[0]), 0x04u);
+  EXPECT_EQ(static_cast<unsigned>(buf[3]), 0x01u);
+  EXPECT_EQ(get_u32(buf, 0), 0x01020304u);
+}
+
+TEST(Message, IsExactly32Bytes) {
+  EXPECT_EQ(Message::kSize, 32u);
+  Message m;
+  EXPECT_EQ(m.raw().size(), 32u);
+}
+
+TEST(Message, DefaultIsZeroFilled) {
+  Message m;
+  for (std::size_t i = 0; i < Message::kSize; i += 2) {
+    EXPECT_EQ(m.u16(i), 0u);
+  }
+}
+
+TEST(Message, CodeIsFirstWord) {
+  Message m;
+  m.set_code(0x0101);
+  EXPECT_EQ(m.u16(0), 0x0101);
+  EXPECT_EQ(m.code(), 0x0101);
+}
+
+TEST(Message, ReplyCodeView) {
+  const Message m = make_reply(ReplyCode::kNotFound);
+  EXPECT_EQ(m.reply_code(), ReplyCode::kNotFound);
+  EXPECT_EQ(m.code(), static_cast<std::uint16_t>(ReplyCode::kNotFound));
+}
+
+TEST(Message, EqualityComparesAllBytes) {
+  Message a, b;
+  EXPECT_EQ(a, b);
+  a.set_u16(30, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Csname, StandardHeaderFieldsDoNotOverlap) {
+  Message m = cs::make_request(RequestCode::kQueryName, 0xAABBCCDD, 321, 7);
+  EXPECT_EQ(m.code(), RequestCode::kQueryName);
+  EXPECT_EQ(cs::name_index(m), 0);
+  EXPECT_EQ(cs::name_length(m), 321);
+  EXPECT_EQ(cs::mode(m), 7);
+  EXPECT_EQ(cs::context_id(m), 0xAABBCCDDu);
+  cs::set_name_index(m, 17);
+  EXPECT_EQ(cs::name_index(m), 17);
+  EXPECT_EQ(cs::name_length(m), 321);   // neighbours untouched
+  EXPECT_EQ(cs::context_id(m), 0xAABBCCDDu);
+}
+
+TEST(RequestCodes, CsnameClassification) {
+  EXPECT_TRUE(is_csname_request(RequestCode::kMapContextName));
+  EXPECT_TRUE(is_csname_request(RequestCode::kQueryName));
+  EXPECT_TRUE(is_csname_request(RequestCode::kCreateInstance));
+  EXPECT_TRUE(is_csname_request(RequestCode::kAddContextName));
+  EXPECT_FALSE(is_csname_request(RequestCode::kReadInstance));
+  EXPECT_FALSE(is_csname_request(RequestCode::kGetTime));
+  EXPECT_FALSE(is_csname_request(RequestCode::kGetContextName));
+  // Server-specific codes: the kCsnameBit convention.
+  EXPECT_TRUE(is_csname_request(0x0500 | kCsnameBit));
+  EXPECT_FALSE(is_csname_request(0x0600));
+}
+
+}  // namespace
+}  // namespace v::msg

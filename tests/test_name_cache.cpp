@@ -1,0 +1,212 @@
+// Tests for the client name cache (the paper-section-2.2 ablation): the
+// mechanics of hit/miss/LRU, the latency benefit under reuse, the graceful
+// recovery from detectable staleness, and the SILENT WRONGNESS the paper
+// warns about when context ids are reused.
+#include <gtest/gtest.h>
+
+#include "naming/protocol.hpp"
+#include "svc/name_cache.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenRead;
+using sim::Co;
+using sim::kMillisecond;
+using svc::NameCache;
+using test::VFixture;
+
+// --- unit mechanics -------------------------------------------------------------
+
+TEST(NameCacheUnit, HitMissAndCounters) {
+  NameCache cache(8);
+  const naming::ContextPair target{ipc::ProcessId::make(1, 2), 7};
+  EXPECT_FALSE(cache.find("usr/mann").has_value());
+  cache.put("usr/mann", target);
+  auto hit = cache.find("usr/mann");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, target);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(NameCacheUnit, LruEvictionAtCapacity) {
+  NameCache cache(3);
+  const naming::ContextPair t{ipc::ProcessId::make(1, 1), 0};
+  cache.put("a", t);
+  cache.put("b", t);
+  cache.put("c", t);
+  (void)cache.find("a");  // refresh "a"
+  cache.put("d", t);      // evicts "b" (least recently used)
+  EXPECT_TRUE(cache.find("a").has_value());
+  EXPECT_FALSE(cache.find("b").has_value());
+  EXPECT_TRUE(cache.find("c").has_value());
+  EXPECT_TRUE(cache.find("d").has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(NameCacheUnit, EraseCountsInvalidations) {
+  NameCache cache(4);
+  cache.put("x", {ipc::ProcessId::make(1, 1), 0});
+  cache.erase("x");
+  cache.erase("x");  // second erase of a missing entry is a no-op
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_FALSE(cache.find("x").has_value());
+}
+
+// --- behaviour through the protocol ---------------------------------------------
+
+TEST(NameCacheRt, ReusedDirectoryHitsSkipInterpretation) {
+  VFixture fx;
+  fx.run_client([](ipc::Process self, svc::Rt rt) -> Co<void> {
+    NameCache cache;
+    // First open resolves the full path and populates the cache.
+    auto t0 = self.now();
+    auto first = co_await rt.open_cached(cache, "usr/mann/naming.mss",
+                                         kOpenRead);
+    const auto cold = self.now() - t0;
+    EXPECT_TRUE(first.ok());
+    if (first.ok()) {
+      svc::File f = first.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    // Second open of a sibling hits the cache: only the leaf travels.
+    t0 = self.now();
+    auto second = co_await rt.open_cached(cache, "usr/mann/paper.mss",
+                                          kOpenRead);
+    const auto warm = self.now() - t0;
+    EXPECT_TRUE(second.ok());
+    if (second.ok()) {
+      svc::File f = second.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_LT(warm, cold);  // fewer components interpreted
+  });
+}
+
+TEST(NameCacheRt, WorksAcrossPrefixesAndLinks) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process, svc::Rt rt) -> Co<void> {
+    NameCache cache;
+    // Through the prefix server AND a cross-server link: the cache ends up
+    // holding beta's context although the name names alpha's prefix.
+    auto first = co_await rt.open_cached(
+        cache, "[home]proj/readme", kOpenRead);
+    EXPECT_TRUE(first.ok());
+    if (first.ok()) {
+      svc::File f = first.take();
+      EXPECT_EQ(f.server(), fx.beta_pid);
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    auto again = co_await rt.open_cached(
+        cache, "[home]proj/readme", kOpenRead);
+    EXPECT_TRUE(again.ok());
+    if (again.ok()) {
+      svc::File f = again.take();
+      EXPECT_EQ(f.server(), fx.beta_pid);  // straight to beta this time
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    EXPECT_EQ(cache.hits(), 1u);
+  });
+}
+
+TEST(NameCacheRt, DeadServerEntryInvalidatesAndRecovers) {
+  VFixture fx;
+  // beta will die; [storage] logically names alpha via the service id, so
+  // the full walk recovers.
+  fx.dom.loop().schedule_at(50 * kMillisecond, [&fx] { fx.fs2.crash(); });
+  fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
+    NameCache cache;
+    auto first = co_await rt.open_cached(cache, "[beta]pub/readme",
+                                         kOpenRead);
+    EXPECT_TRUE(first.ok());
+    if (first.ok()) {
+      svc::File f = first.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    co_await self.delay(100 * kMillisecond);  // beta dies
+    // The cached entry points at the dead beta: detectably stale
+    // (kNoReply), invalidated, and the full walk reports the truth.
+    auto second = co_await rt.open_cached(cache, "[beta]pub/readme",
+                                          kOpenRead);
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(cache.invalidations(), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+  });
+}
+
+TEST(NameCacheRt, SilentWrongAnswerWhenContextIdReused) {
+  // THE inconsistency of paper section 2.2, demonstrated: a restarted
+  // server hands out the same context ids for a DIFFERENT directory tree;
+  // cached resolutions now name the wrong objects and nothing detects it.
+  VFixture fx;
+  servers::FileServer impostor("alpha-v2", servers::DiskModel::kMemory,
+                               /*register_service=*/false);
+  // Same shape, different content: inode/context ids will coincide with
+  // the original alpha's because allocation is deterministic.
+  impostor.put_file("usr/mann/naming.mss", "IMPOSTOR CONTENT");
+  impostor.put_file("usr/mann/paper.mss", "IMPOSTOR CONTENT");
+  ipc::ProcessId impostor_pid;
+
+  fx.run_client([&](ipc::Process self, svc::Rt rt) -> Co<void> {
+    NameCache cache;
+    auto first = co_await rt.open_cached(cache, "usr/mann/naming.mss",
+                                         kOpenRead);
+    EXPECT_TRUE(first.ok());
+    if (first.ok()) {
+      svc::File f = first.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    // alpha's host crashes; a different file server reappears there.  To
+    // model pid reuse (spatially unique, NOT unique in time — section
+    // 4.1), the client's stale cache entry is rewritten to the impostor's
+    // pid with the SAME context id, as would happen if the pid were
+    // recycled.
+    fx.fs1.crash();
+    fx.fs1.restart();
+    impostor_pid = fx.fs1.spawn(
+        "alpha-v2", [&](ipc::Process p) { return impostor.run(p); });
+    co_await self.delay(kMillisecond);
+    auto stale = cache.find("usr/mann");
+    EXPECT_TRUE(stale.has_value());
+    if (!stale.has_value()) co_return;
+    cache.put("usr/mann", {impostor_pid, stale->context});
+
+    // The cached open SUCCEEDS — and silently returns the impostor's
+    // bytes.  No error surfaces anywhere.
+    auto wrong = co_await rt.open_cached(cache, "usr/mann/naming.mss",
+                                         kOpenRead);
+    EXPECT_TRUE(wrong.ok());
+    if (!wrong.ok()) co_return;
+    svc::File f = wrong.take();
+    auto bytes = co_await f.read_all();
+    EXPECT_TRUE(bytes.ok());
+    if (bytes.ok()) {
+      EXPECT_EQ(std::string(
+                    reinterpret_cast<const char*>(bytes.value().data()),
+                    bytes.value().size()),
+                "IMPOSTOR CONTENT");
+    }
+    EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(NameCacheRt, CurrentContextNamesAreNotCached) {
+  VFixture fx;
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    NameCache cache;
+    EXPECT_EQ(co_await rt.change_context("usr/mann"), ReplyCode::kOk);
+    auto opened = co_await rt.open_cached(cache, "naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    EXPECT_EQ(cache.size(), 0u);  // single-component names: nothing to cache
+  });
+}
+
+}  // namespace
+}  // namespace v

@@ -1,0 +1,179 @@
+// Tests for the naming core: types, parsing, and descriptor records,
+// including a parameterized property sweep over descriptor round trips.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/pack.hpp"
+#include "naming/descriptor.hpp"
+#include "naming/parse.hpp"
+#include "naming/types.hpp"
+
+namespace v::naming {
+namespace {
+
+// --- types ------------------------------------------------------------------
+
+TEST(Types, WellKnownContextClassification) {
+  EXPECT_TRUE(is_well_known(kHomeContext));
+  EXPECT_TRUE(is_well_known(kProgramsContext));
+  EXPECT_FALSE(is_well_known(kDefaultContext));
+  EXPECT_FALSE(is_well_known(42));
+}
+
+TEST(Types, ContextPairEquality) {
+  const ContextPair a{ipc::ProcessId::make(1, 2), 3};
+  const ContextPair b{ipc::ProcessId::make(1, 2), 3};
+  const ContextPair c{ipc::ProcessId::make(1, 2), 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(ContextPair{}.valid());
+}
+
+// --- parsing ----------------------------------------------------------------
+
+TEST(Parse, PrefixSyntaxDetection) {
+  EXPECT_TRUE(has_prefix_syntax("[home]x"));
+  EXPECT_FALSE(has_prefix_syntax("home/x"));
+  EXPECT_FALSE(has_prefix_syntax(""));
+}
+
+TEST(Parse, PrefixExtraction) {
+  std::size_t rest = 0;
+  auto p = parse_prefix("[storage1]/usr/mann", rest);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, "storage1");
+  EXPECT_EQ(rest, 10u);
+  EXPECT_EQ(std::string_view("[storage1]/usr/mann").substr(rest),
+            "/usr/mann");
+}
+
+TEST(Parse, MalformedPrefixRejected) {
+  std::size_t rest = 0;
+  EXPECT_FALSE(parse_prefix("[unclosed/name", rest).has_value());
+  EXPECT_FALSE(parse_prefix("noprefix", rest).has_value());
+}
+
+TEST(Parse, EmptyPrefixIsValid) {
+  std::size_t rest = 0;
+  auto p = parse_prefix("[]x", rest);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, "");
+  EXPECT_EQ(rest, 2u);
+}
+
+TEST(Parse, ComponentsLeftToRight) {
+  const std::string_view name = "usr/mann/naming.mss";
+  std::size_t index = 0, next = 0;
+  EXPECT_EQ(next_component(name, index, next), "usr");
+  index = next;
+  EXPECT_EQ(next_component(name, index, next), "mann");
+  index = next;
+  EXPECT_EQ(next_component(name, index, next), "naming.mss");
+  index = next;
+  EXPECT_EQ(next_component(name, index, next), "");
+}
+
+TEST(Parse, RepeatedAndLeadingSeparatorsSkipped) {
+  std::size_t next = 0;
+  EXPECT_EQ(next_component("///a//b", 0, next), "a");
+  EXPECT_EQ(next_component("///a//b", next, next), "b");
+  EXPECT_EQ(count_components("///a//b/"), 2u);
+}
+
+TEST(Parse, CountAndLeafHelpers) {
+  EXPECT_EQ(count_components(""), 0u);
+  EXPECT_EQ(count_components("a"), 1u);
+  EXPECT_EQ(count_components("a/b/c"), 3u);
+  EXPECT_TRUE(is_simple_leaf(""));
+  EXPECT_TRUE(is_simple_leaf("file.txt"));
+  EXPECT_FALSE(is_simple_leaf("dir/file.txt"));
+}
+
+// --- descriptors -------------------------------------------------------------
+
+TEST(Descriptor, EncodeDecodeRoundTrip) {
+  ObjectDescriptor d;
+  d.type = DescriptorType::kFile;
+  d.flags = kReadable | kWriteable;
+  d.size = 12345;
+  d.object_id = 77;
+  d.server_pid = 0xDEADBEEF;
+  d.context_id = 4;
+  d.mtime = 99;
+  d.owner = "mann";
+  d.name = "naming.mss";
+  std::array<std::byte, ObjectDescriptor::kWireSize> wire{};
+  d.encode(wire);
+  auto decoded = ObjectDescriptor::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), d);
+}
+
+TEST(Descriptor, ShortBufferRejected) {
+  std::array<std::byte, ObjectDescriptor::kWireSize - 1> wire{};
+  EXPECT_EQ(ObjectDescriptor::decode(wire).code(), ReplyCode::kBadArgs);
+}
+
+TEST(Descriptor, UnknownTagRejected) {
+  std::array<std::byte, ObjectDescriptor::kWireSize> wire{};
+  put_u16(wire, 0, 999);
+  EXPECT_EQ(ObjectDescriptor::decode(wire).code(), ReplyCode::kBadArgs);
+}
+
+TEST(Descriptor, OverlongStringsTruncateToWireLimits) {
+  ObjectDescriptor d;
+  d.type = DescriptorType::kFile;
+  d.owner = std::string(100, 'o');
+  d.name = std::string(200, 'n');
+  std::array<std::byte, ObjectDescriptor::kWireSize> wire{};
+  d.encode(wire);
+  auto decoded = ObjectDescriptor::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().owner.size(), ObjectDescriptor::kMaxOwner);
+  EXPECT_EQ(decoded.value().name.size(), ObjectDescriptor::kMaxName);
+}
+
+TEST(Descriptor, TypeNames) {
+  EXPECT_EQ(to_string(DescriptorType::kFile), "file");
+  EXPECT_EQ(to_string(DescriptorType::kPrefix), "prefix");
+  EXPECT_EQ(to_string(DescriptorType::kMailbox), "mailbox");
+}
+
+// Property sweep: random descriptors round-trip for every type tag.
+class DescriptorRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DescriptorRoundTrip, RandomizedRoundTrip) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  auto r32 = [&] { return static_cast<std::uint32_t>(rng()); };
+  auto rstr = [&](std::size_t max) {
+    std::string s(rng() % (max + 1), '\0');
+    for (auto& c : s) c = static_cast<char>('a' + rng() % 26);
+    return s;
+  };
+  for (int type = 1; type <= 9; ++type) {
+    ObjectDescriptor d;
+    d.type = static_cast<DescriptorType>(type);
+    d.flags = static_cast<std::uint16_t>(rng());
+    d.size = r32();
+    d.object_id = r32();
+    d.server_pid = r32();
+    d.context_id = r32();
+    d.mtime = r32();
+    d.owner = rstr(ObjectDescriptor::kMaxOwner);
+    d.name = rstr(ObjectDescriptor::kMaxName);
+    std::array<std::byte, ObjectDescriptor::kWireSize> wire{};
+    d.encode(wire);
+    auto decoded = ObjectDescriptor::decode(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), d) << "seed=" << GetParam()
+                                  << " type=" << type;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptorRoundTrip,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace v::naming

@@ -1,0 +1,267 @@
+// Property-based tests: random operation sequences against a FileServer
+// through the full protocol stack, checked against an in-test model.
+//
+// Invariants exercised per random seed:
+//  * a created file is openable and reads back exactly what was written;
+//  * a removed name stops resolving, and removal never affects siblings;
+//  * context directories agree with the model's view of every directory;
+//  * MapContextName succeeds exactly for model directories;
+//  * operations never crash any process and the simulation always drains.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+
+#include "naming/protocol.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::DescriptorType;
+using naming::wire::kOpenCreate;
+using naming::wire::kOpenRead;
+using naming::wire::kOpenWrite;
+using sim::Co;
+using test::VFixture;
+
+struct Model {
+  std::set<std::string> dirs{""};              // "" is the root
+  std::map<std::string, std::string> files;    // path -> content
+
+  static std::string parent(const std::string& path) {
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? std::string{} : path.substr(0, slash);
+  }
+  static std::string leaf_of(const std::string& path) {
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+  [[nodiscard]] bool dir_has_children(const std::string& dir) const {
+    for (const auto& d : dirs) {
+      if (d != dir && parent(d) == dir && !d.empty()) return true;
+    }
+    for (const auto& [f, _] : files) {
+      if (parent(f) == dir) return true;
+    }
+    return false;
+  }
+};
+
+class RandomOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomOps, ProtocolAgreesWithModel) {
+  VFixture fx;
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 13u);
+  Model model;
+
+  const std::vector<std::string> name_pool = {"a", "b", "c", "dir1", "dir2",
+                                              "f.txt", "g.dat"};
+  auto random_name = [&] { return name_pool[rng() % name_pool.size()]; };
+  auto random_dir = [&] {
+    auto it = model.dirs.begin();
+    std::advance(it, rng() % model.dirs.size());
+    return *it;
+  };
+  auto join = [](const std::string& dir, const std::string& leaf) {
+    return dir.empty() ? leaf : dir + "/" + leaf;
+  };
+
+  fx.run_client([&](ipc::Process, svc::Rt rt) -> Co<void> {
+    // Work in a scratch area so the fixture content stays out of the model.
+    EXPECT_EQ(co_await rt.make_context("scratch"), ReplyCode::kOk);
+    EXPECT_EQ(co_await rt.change_context("scratch"), ReplyCode::kOk);
+
+    for (int step = 0; step < 120; ++step) {
+      const int op = static_cast<int>(rng() % 5);
+      const std::string dir = random_dir();
+      const std::string leaf = random_name();
+      const std::string path = join(dir, leaf);
+      const bool is_dir = model.dirs.contains(path);
+      const bool is_file = model.files.contains(path);
+      switch (op) {
+        case 0: {  // mkdir
+          const auto got = co_await rt.make_context(path);
+          EXPECT_EQ(got, (is_dir || is_file) ? ReplyCode::kNameExists
+                                             : ReplyCode::kOk)
+              << "mkdir " << path;
+          if (v::ok(got)) model.dirs.insert(path);
+          break;
+        }
+        case 1: {  // create + write
+          std::string content(rng() % 700, '\0');
+          for (auto& c : content) c = static_cast<char>('a' + rng() % 26);
+          auto opened = co_await rt.open(
+              path, kOpenRead | kOpenWrite | kOpenCreate);
+          if (is_dir) {
+            // Opening a name that resolves to a context opens its context
+            // DIRECTORY (section 5.6), not a file.
+            EXPECT_TRUE(opened.ok()) << path;
+            if (opened.ok()) {
+              svc::File d = opened.take();
+              EXPECT_EQ(co_await d.close(), ReplyCode::kOk);
+            }
+            break;
+          }
+          EXPECT_TRUE(opened.ok()) << path;
+          if (!opened.ok()) break;
+          svc::File f = opened.take();
+          EXPECT_EQ(co_await f.write_all(std::as_bytes(
+                        std::span(content.data(), content.size()))),
+                    ReplyCode::kOk);
+          EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+          // Writes at block granularity only extend; model the result.
+          auto& stored = model.files[path];
+          if (content.size() >= stored.size()) {
+            stored = content;
+          } else {
+            stored.replace(0, content.size(), content);
+          }
+          break;
+        }
+        case 2: {  // remove
+          const auto got = co_await rt.remove(path);
+          if (is_file) {
+            EXPECT_EQ(got, ReplyCode::kOk) << path;
+            model.files.erase(path);
+          } else if (is_dir) {
+            const bool busy = model.dir_has_children(path);
+            EXPECT_EQ(got, busy ? ReplyCode::kBadState : ReplyCode::kOk)
+                << path;
+            if (!busy) model.dirs.erase(path);
+          } else {
+            EXPECT_EQ(got, ReplyCode::kNotFound) << path;
+          }
+          break;
+        }
+        case 3: {  // query
+          auto desc = co_await rt.query(path);
+          if (is_file) {
+            EXPECT_TRUE(desc.ok()) << path;
+            if (desc.ok()) {
+              EXPECT_EQ(desc.value().type, DescriptorType::kFile);
+              EXPECT_EQ(desc.value().size, model.files[path].size());
+            }
+          } else if (is_dir) {
+            EXPECT_TRUE(desc.ok()) << path;
+            if (desc.ok()) {
+              EXPECT_EQ(desc.value().type, DescriptorType::kContext);
+            }
+          } else {
+            EXPECT_EQ(desc.code(), ReplyCode::kNotFound) << path;
+          }
+          break;
+        }
+        case 4: {  // map context
+          auto mapped = co_await rt.map_context(path);
+          if (is_dir) {
+            EXPECT_TRUE(mapped.ok()) << path;
+          } else if (is_file) {
+            EXPECT_EQ(mapped.code(), ReplyCode::kNotAContext) << path;
+          } else {
+            EXPECT_EQ(mapped.code(), ReplyCode::kNotFound) << path;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // Final audit: every model directory's context directory matches, and
+    // every model file reads back its content.
+    for (const auto& dir : model.dirs) {
+      auto records = co_await rt.list_context(dir);
+      EXPECT_TRUE(records.ok()) << dir;
+      if (!records.ok()) continue;
+      std::set<std::string> listed;
+      for (const auto& rec : records.value()) {
+        listed.insert(join(dir, rec.name));
+      }
+      std::set<std::string> expected;
+      for (const auto& d : model.dirs) {
+        if (!d.empty() && Model::parent(d) == dir) expected.insert(d);
+      }
+      for (const auto& [f, _] : model.files) {
+        if (Model::parent(f) == dir) expected.insert(f);
+      }
+      EXPECT_EQ(listed, expected) << "directory " << dir;
+    }
+    for (const auto& [path, content] : model.files) {
+      auto opened = co_await rt.open(path, kOpenRead);
+      EXPECT_TRUE(opened.ok()) << path;
+      if (!opened.ok()) continue;
+      svc::File f = opened.take();
+      auto bytes = co_await f.read_all();
+      EXPECT_TRUE(bytes.ok()) << path;
+      if (bytes.ok()) {
+        EXPECT_EQ(std::string(
+                      reinterpret_cast<const char*>(bytes.value().data()),
+                      bytes.value().size()),
+                  content)
+            << path;
+      }
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOps, ::testing::Range(0, 10));
+
+// Random prefix-table churn: add/delete/redefine prefixes and verify the
+// table contents via the context directory after every batch.
+class RandomPrefixOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrefixOps, TableMatchesDirectoryListing) {
+  VFixture fx;
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 104729u + 7u);
+  std::map<std::string, bool> model;  // prefix -> points-at-beta
+  const std::vector<std::string> pool = {"p0", "p1", "p2", "p3", "p4"};
+
+  fx.run_client([&](ipc::Process, svc::Rt rt) -> Co<void> {
+    for (int step = 0; step < 60; ++step) {
+      const auto& name = pool[rng() % pool.size()];
+      if (rng() % 3 == 0) {
+        const auto got = co_await rt.delete_prefix(name);
+        EXPECT_EQ(got, model.contains(name) ? ReplyCode::kOk
+                                            : ReplyCode::kNotFound)
+            << name;
+        model.erase(name);
+      } else {
+        const bool to_beta = rng() % 2 == 0;
+        const naming::ContextPair target =
+            to_beta ? naming::ContextPair{fx.beta_pid,
+                                          naming::kDefaultContext}
+                    : naming::ContextPair{fx.alpha_pid,
+                                          naming::kDefaultContext};
+        EXPECT_EQ(co_await rt.add_prefix(name, target), ReplyCode::kOk);
+        model[name] = to_beta;
+      }
+    }
+    // Audit against the prefix server's own context directory.
+    rt.set_current({fx.prefix_pid, naming::kDefaultContext});
+    auto records = co_await rt.list_context("");
+    EXPECT_TRUE(records.ok());
+    if (!records.ok()) co_return;
+    std::map<std::string, std::uint32_t> listed;
+    for (const auto& rec : records.value()) {
+      listed[rec.name] = rec.server_pid;
+    }
+    // The fixture's five standard prefixes are also present.
+    EXPECT_EQ(listed.size(), model.size() + 5);
+    for (const auto& [name, to_beta] : model) {
+      EXPECT_TRUE(listed.contains(name)) << name;
+      if (!listed.contains(name)) continue;
+      EXPECT_EQ(listed[name],
+                to_beta ? fx.beta_pid.raw : fx.alpha_pid.raw)
+          << name;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrefixOps, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace v

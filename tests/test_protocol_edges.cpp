@@ -1,0 +1,217 @@
+// Adversarial/edge-case tests at the raw protocol level: malformed CSname
+// requests, instance-op misuse, runtime corner cases, and the transport
+// statistics counters.
+#include <gtest/gtest.h>
+
+#include "msg/csname.hpp"
+#include "naming/protocol.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenRead;
+using naming::wire::kOpenWrite;
+using sim::Co;
+using test::VFixture;
+
+// Send a raw CSname request to `dest` with explicit header fields.
+sim::Co<msg::Message> raw_csname(ipc::Process self, ipc::ProcessId dest,
+                                 std::uint16_t code, std::string_view name,
+                                 std::uint16_t name_index,
+                                 std::uint16_t claimed_length,
+                                 naming::ContextId ctx) {
+  msg::Message request;
+  request.set_code(code);
+  msg::cs::set_name_index(request, name_index);
+  msg::cs::set_name_length(request, claimed_length);
+  msg::cs::set_context_id(request, ctx);
+  ipc::Segments segs;
+  segs.read = std::as_bytes(std::span(name.data(), name.size()));
+  co_return co_await self.send(request, dest, segs);
+}
+
+TEST(ProtocolEdges, NameIndexBeyondLengthIsBadArgs) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    const auto reply = co_await raw_csname(
+        self, fx.alpha_pid, msg::RequestCode::kQueryName, "tmp",
+        /*index=*/10, /*length=*/3, naming::kDefaultContext);
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kBadArgs);
+  });
+}
+
+TEST(ProtocolEdges, ClaimedLengthBeyondSegmentIsBadArgs) {
+  // The server's MoveFrom of the name runs past the sender's segment.
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    const auto reply = co_await raw_csname(
+        self, fx.alpha_pid, msg::RequestCode::kQueryName, "tmp",
+        /*index=*/0, /*length=*/64, naming::kDefaultContext);
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kBadArgs);
+  });
+}
+
+TEST(ProtocolEdges, HugeClaimedLengthIsRejectedBeforeFetch) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    const auto reply = co_await raw_csname(
+        self, fx.alpha_pid, msg::RequestCode::kQueryName, "tmp",
+        /*index=*/0, /*length=*/0xffff, naming::kDefaultContext);
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kBadArgs);
+  });
+}
+
+TEST(ProtocolEdges, EmptyNameMapsTheCurrentContextItself) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    const auto reply = co_await raw_csname(
+        self, fx.alpha_pid, msg::RequestCode::kMapContextName, "",
+        /*index=*/0, /*length=*/0,
+        fx.alpha.context_of("usr/mann"));
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kOk);
+    const auto pair = naming::wire::get_map_reply(reply);
+    EXPECT_EQ(pair.server, fx.alpha_pid);
+    EXPECT_EQ(pair.context, fx.alpha.context_of("usr/mann"));
+  });
+}
+
+TEST(ProtocolEdges, MidNameIndexResumesInterpretation) {
+  // A client can hand a server a partially-consumed name, exactly as a
+  // forwarding server would.
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    const std::string_view name = "usr/mann/naming.mss";
+    const auto reply = co_await raw_csname(
+        self, fx.alpha_pid, msg::RequestCode::kQueryName, name,
+        /*index=*/4,  // skip "usr/": interpret "mann/naming.mss"
+        static_cast<std::uint16_t>(name.size()),
+        fx.alpha.context_of("usr"));
+    // No write segment was provided, so the descriptor MoveTo must fail
+    // cleanly AFTER successful resolution.
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kBadArgs);
+    // With resolution alone (MapContextName on a directory), it succeeds:
+    const std::string_view dir_name = "usr/mann";
+    const auto mapped = co_await raw_csname(
+        self, fx.alpha_pid, msg::RequestCode::kMapContextName, dir_name,
+        /*index=*/4, static_cast<std::uint16_t>(dir_name.size()),
+        fx.alpha.context_of("usr"));
+    EXPECT_EQ(mapped.reply_code(), ReplyCode::kOk);
+  });
+}
+
+TEST(ProtocolEdges, InstanceOpsOnUnknownIdsFailCleanly) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process self, svc::Rt) -> Co<void> {
+    for (const std::uint16_t op :
+         {msg::RequestCode::kQueryInstance, msg::RequestCode::kReadInstance,
+          msg::RequestCode::kWriteInstance,
+          msg::RequestCode::kReleaseInstance}) {
+      msg::Message request;
+      request.set_code(op);
+      request.set_u16(io::kOffInstance, 4242);
+      const auto reply = co_await self.send(request, fx.alpha_pid);
+      EXPECT_EQ(reply.reply_code(), ReplyCode::kInvalidInstance)
+          << "op " << op;
+    }
+  });
+}
+
+TEST(ProtocolEdges, DoubleCloseIsInvalidInstance) {
+  VFixture fx;
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto opened = co_await rt.open("usr/mann/naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (!opened.ok()) co_return;
+    svc::File f = opened.take();
+    EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    EXPECT_EQ(co_await f.close(), ReplyCode::kInvalidInstance);
+  });
+}
+
+TEST(ProtocolEdges, ReadAfterFileDeletionIsBadState) {
+  // The instance survives the name, but the object is gone: block reads
+  // report kBadState (names and objects die together; instances are
+  // temporary names that can dangle briefly).
+  VFixture fx;
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto opened = co_await rt.open("usr/mann/naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (!opened.ok()) co_return;
+    svc::File f = opened.take();
+    EXPECT_EQ(co_await rt.remove("usr/mann/naming.mss"), ReplyCode::kOk);
+    std::vector<std::byte> buf(32);
+    auto got = co_await f.read_block(0, buf);
+    EXPECT_EQ(got.code(), ReplyCode::kBadState);
+    EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(ProtocolEdges, WriteToReadOnlyOpenFails) {
+  VFixture fx;
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto opened = co_await rt.open("usr/mann/naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (!opened.ok()) co_return;
+    svc::File f = opened.take();
+    const std::string data = "overwrite attempt";
+    auto wrote = co_await f.write_block(
+        0, std::as_bytes(std::span(data.data(), data.size())));
+    EXPECT_EQ(wrote.code(), ReplyCode::kNotWriteable);
+    EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(ProtocolEdges, RuntimeWithoutPrefixServerFailsPrefixedNamesOnly) {
+  // A workstation with no context prefix server: '['-names fail locally in
+  // the stub; everything else still works.
+  ipc::Domain dom;
+  auto& ws = dom.add_host("bare-ws");
+  auto& fsh = dom.add_host("fs1");
+  servers::FileServer fs("fs");
+  fs.put_file("data/f.txt", "x");
+  const auto fs_pid =
+      fsh.spawn("fs", [&](ipc::Process p) { return fs.run(p); });
+  ws.spawn("client", [&](ipc::Process self) -> Co<void> {
+    auto rt = co_await svc::Rt::attach(
+        self, {fs_pid, naming::kDefaultContext});
+    EXPECT_FALSE(rt.prefix_server().valid());
+    auto prefixed = co_await rt.open("[home]f.txt", kOpenRead);
+    EXPECT_EQ(prefixed.code(), ReplyCode::kNotFound);
+    auto plain = co_await rt.open("data/f.txt", kOpenRead);
+    EXPECT_TRUE(plain.ok());
+    if (plain.ok()) {
+      svc::File f = plain.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+  dom.run();
+  EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+}
+
+TEST(ProtocolEdges, TransportCountersTrackStructure) {
+  VFixture fx;
+  const auto before = fx.dom.stats();
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    // One cross-server open through a link: client->alpha, alpha->beta
+    // (forward), plus the name fetch and reply.
+    auto opened = co_await rt.open("usr/mann/proj/readme", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+  const auto& after = fx.dom.stats();
+  // Structural (calibration-independent) invariants for this flow:
+  EXPECT_EQ(after.forwards - before.forwards, 1u);  // exactly one link hop
+  // open + close sends, plus the forward's re-delivery.
+  EXPECT_GE(after.messages_sent - before.messages_sent, 3u);
+  // Name fetched twice (alpha and beta both MoveFrom it) + GetPid-free.
+  EXPECT_GE(after.moves - before.moves, 2u);
+  EXPECT_GT(after.bytes_moved, before.bytes_moved);
+  EXPECT_GE(after.remote_messages - before.remote_messages, 2u);
+}
+
+}  // namespace
+}  // namespace v

@@ -1,0 +1,207 @@
+// Tests for the byte-stream client layer over the V I/O protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "naming/protocol.hpp"
+#include "servers/mail_server.hpp"
+#include "svc/stream.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenCreate;
+using naming::wire::kOpenRead;
+using naming::wire::kOpenWrite;
+using sim::Co;
+using test::VFixture;
+
+sim::Co<Result<svc::Stream>> open_stream(svc::Rt& rt, std::string_view name,
+                                         std::uint16_t mode) {
+  auto opened = co_await rt.open(name, mode);
+  if (!opened.ok()) co_return opened.code();
+  co_return svc::Stream(opened.take());
+}
+
+TEST(Stream, ReadLineSplitsOnNewlines) {
+  VFixture fx;
+  fx.alpha.put_file("doc/lines.txt", "first\nsecond\nthird");
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto stream = co_await open_stream(rt, "doc/lines.txt", kOpenRead);
+    EXPECT_TRUE(stream.ok());
+    if (!stream.ok()) co_return;
+    svc::Stream s = stream.take();
+    auto line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value(), "first");
+    }
+    line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value(), "second");
+    }
+    line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value(), "third");  // unterminated final line
+    }
+    line = co_await s.read_line();
+    EXPECT_EQ(line.code(), ReplyCode::kEndOfFile);
+    EXPECT_TRUE(s.eof());
+    EXPECT_EQ(co_await s.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(Stream, LinesSpanningBlockBoundaries) {
+  VFixture fx;
+  // One line of 700 chars crosses the 512-byte block boundary.
+  std::string content(700, 'A');
+  content += "\nshort";
+  fx.alpha.put_file("doc/long.txt", content);
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto stream = co_await open_stream(rt, "doc/long.txt", kOpenRead);
+    EXPECT_TRUE(stream.ok());
+    if (!stream.ok()) co_return;
+    svc::Stream s = stream.take();
+    auto line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value().size(), 700u);
+    }
+    line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value(), "short");
+    }
+    EXPECT_EQ(co_await s.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(Stream, ByteReadsAndSeek) {
+  VFixture fx;
+  std::string content(1300, '\0');
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<char>('a' + i % 26);
+  }
+  fx.alpha.put_file("doc/bytes.bin", content);
+  fx.run_client([&content](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto stream = co_await open_stream(rt, "doc/bytes.bin", kOpenRead);
+    EXPECT_TRUE(stream.ok());
+    if (!stream.ok()) co_return;
+    svc::Stream s = stream.take();
+    std::array<std::byte, 200> chunk{};
+    auto got = co_await s.read(chunk);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(got.value(), 200u);
+      EXPECT_EQ(std::memcmp(chunk.data(), content.data(), 200), 0);
+    }
+    // Seek past a block boundary and read across it.
+    s.seek(500);
+    got = co_await s.read(chunk);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(got.value(), 200u);
+      EXPECT_EQ(std::memcmp(chunk.data(), content.data() + 500, 200), 0);
+    }
+    // Read the tail; the final read is short.
+    auto rest = co_await s.read_rest();
+    EXPECT_TRUE(rest.ok());
+    if (rest.ok()) {
+      EXPECT_EQ(rest.value(), content.substr(700));
+      EXPECT_TRUE(s.eof());
+    }
+    EXPECT_EQ(co_await s.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(Stream, AppendExtendsAcrossBlocks) {
+  VFixture fx;
+  fx.run_client([&fx](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto stream = co_await open_stream(
+        rt, "tmp/log.txt", kOpenRead | kOpenWrite | kOpenCreate);
+    EXPECT_TRUE(stream.ok());
+    if (!stream.ok()) co_return;
+    svc::Stream s = stream.take();
+    for (int i = 0; i < 40; ++i) {
+      const std::string line =
+          "entry " + std::to_string(i) + std::string(20, '.') + "\n";
+      EXPECT_EQ(co_await s.append(line), ReplyCode::kOk);
+    }
+    // Read the whole log back line by line.
+    s.seek(0);
+    int lines = 0;
+    for (;;) {
+      auto line = co_await s.read_line();
+      if (!line.ok()) break;
+      EXPECT_TRUE(line.value().starts_with("entry "));
+      ++lines;
+    }
+    EXPECT_EQ(lines, 40);
+    EXPECT_EQ(co_await s.close(), ReplyCode::kOk);
+    // The server sees the identical content.
+    auto raw = fx.alpha.read_file("tmp/log.txt");
+    EXPECT_TRUE(raw.ok());
+    EXPECT_EQ(std::count(raw.value().begin(), raw.value().end(), '\n'), 40);
+  });
+}
+
+TEST(Stream, EmptyFileBehaves) {
+  VFixture fx;
+  fx.alpha.put_file("doc/empty", "");
+  fx.run_client([](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto stream = co_await open_stream(rt, "doc/empty", kOpenRead);
+    EXPECT_TRUE(stream.ok());
+    if (!stream.ok()) co_return;
+    svc::Stream s = stream.take();
+    std::array<std::byte, 16> chunk{};
+    auto got = co_await s.read(chunk);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(got.value(), 0u);
+    }
+    auto line = co_await s.read_line();
+    EXPECT_EQ(line.code(), ReplyCode::kEndOfFile);
+    EXPECT_EQ(co_await s.close(), ReplyCode::kOk);
+  });
+}
+
+TEST(Stream, MailboxReadsAsStream) {
+  // The uniformity payoff: the same Stream works over a mailbox instance.
+  VFixture fx;
+  servers::MailServer mail;
+  const auto mail_pid =
+      fx.fs2.spawn("mail", [&mail](ipc::Process p) { return mail.run(p); });
+  fx.run_client([mail_pid](ipc::Process, svc::Rt rt) -> Co<void> {
+    rt.set_current({mail_pid, naming::kDefaultContext});
+    auto opened = co_await rt.open(
+        "mann@su-navajo", kOpenRead | kOpenWrite | kOpenCreate);
+    EXPECT_TRUE(opened.ok());
+    if (!opened.ok()) co_return;
+    svc::Stream s(opened.take());
+    auto wrote1 = co_await s.file().write_block(
+        0, std::as_bytes(std::span("msg one", 7)));
+    EXPECT_TRUE(wrote1.ok());
+    auto wrote2 = co_await s.file().write_block(
+        0, std::as_bytes(std::span("msg two", 7)));
+    EXPECT_TRUE(wrote2.ok());
+    s.seek(0);
+    auto line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value(), "msg one");
+    }
+    line = co_await s.read_line();
+    EXPECT_TRUE(line.ok());
+    if (line.ok()) {
+      EXPECT_EQ(line.value(), "msg two");
+    }
+    EXPECT_EQ(co_await s.close(), ReplyCode::kOk);
+  });
+}
+
+}  // namespace
+}  // namespace v

@@ -1,0 +1,107 @@
+// A standard simulated V installation for tests: one user workstation with
+// a per-user context prefix server, and two file-server hosts ("alpha" and
+// "beta") with a pre-populated naming forest, including a cross-server link
+// (the curved arrow of Figure 4):
+//
+//   alpha: /usr/mann/{naming.mss,paper.mss}  /bin/{edit,shell}  /tmp
+//          /usr/mann/proj -> beta:/pub           (cross-server link)
+//   beta:  /pub/readme  /pub/data/points.dat
+//
+// Prefixes on ws1: [alpha] [beta] [home]=alpha:/usr/mann [bin]=alpha:/bin
+//                  [storage] (logical -> ServiceId::kStorageServer)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "ipc/kernel.hpp"
+#include "naming/types.hpp"
+#include "servers/file_server.hpp"
+#include "servers/prefix_server.hpp"
+#include "svc/runtime.hpp"
+
+namespace v::test {
+
+struct VFixture {
+  explicit VFixture(
+      ipc::CalibrationParams params =
+          ipc::CalibrationParams::SunWorkstation3Mbit(),
+      servers::DiskModel disk = servers::DiskModel::kMemory)
+      : dom(params),
+        ws1(dom.add_host("ws1")),
+        fs1(dom.add_host("fs1")),
+        fs2(dom.add_host("fs2")),
+        alpha("alpha", disk),
+        beta("beta", disk, /*register_service=*/false),
+        prefixes("mann") {
+    // Populate alpha.
+    alpha.put_file("usr/mann/naming.mss", "Distributed name interpretation.");
+    alpha.put_file("usr/mann/paper.mss", "ICDCS 1984.");
+    alpha.put_file("bin/edit", std::string(4096, 'E'));
+    alpha.put_file("bin/shell", std::string(2048, 'S'));
+    alpha.mkdirs("tmp");
+    alpha.map_well_known(naming::kHomeContext, "usr/mann");
+    alpha.map_well_known(naming::kProgramsContext, "bin");
+    alpha.map_well_known(naming::kTempContext, "tmp");
+    // Populate beta.
+    beta.put_file("pub/readme", "public files live here");
+    beta.put_file("pub/data/points.dat", "1 2 3 4 5");
+
+    alpha_pid = fs1.spawn("alpha-fs", [this](ipc::Process p) {
+      return alpha.run(p);
+    });
+    beta_pid = fs2.spawn("beta-fs", [this](ipc::Process p) {
+      return beta.run(p);
+    });
+
+    // Cross-server link: alpha:/usr/mann/proj -> beta:/pub.
+    alpha.put_link("usr/mann/proj",
+                   {beta_pid, beta.context_of("pub")});
+
+    // Standard prefixes for this user.
+    prefixes.define("alpha", {.target = {alpha_pid, naming::kDefaultContext}});
+    prefixes.define("beta", {.target = {beta_pid, naming::kDefaultContext}});
+    prefixes.define("home",
+                    {.target = {alpha_pid, alpha.context_of("usr/mann")}});
+    prefixes.define("bin", {.target = {alpha_pid, alpha.context_of("bin")}});
+    servers::ContextPrefixServer::Entry storage_entry;
+    storage_entry.logical = true;
+    storage_entry.service = ipc::ServiceId::kStorageServer;
+    prefixes.define("storage", storage_entry);
+    prefix_pid = ws1.spawn("prefix-server", [this](ipc::Process p) {
+      return prefixes.run(p);
+    });
+  }
+
+  /// Spawn a client whose body receives an attached runtime (current
+  /// context = alpha's root) and run the simulation to idle.
+  void run_client(std::function<sim::Co<void>(ipc::Process, svc::Rt)> body) {
+    bool client_finished = false;
+    ws1.spawn("client", [this, &client_finished, body = std::move(body)](
+                            ipc::Process self) -> sim::Co<void> {
+      auto rt = co_await svc::Rt::attach(
+          self, naming::ContextPair{alpha_pid, naming::kDefaultContext});
+      co_await body(self, rt);
+      client_finished = true;
+    });
+    dom.run();
+    EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+    // A hung client (e.g. a request that was silently dropped) must fail
+    // the test rather than pass vacuously.
+    EXPECT_TRUE(client_finished) << "client parked forever";
+  }
+
+  ipc::Domain dom;
+  ipc::Host& ws1;
+  ipc::Host& fs1;
+  ipc::Host& fs2;
+  servers::FileServer alpha;
+  servers::FileServer beta;
+  servers::ContextPrefixServer prefixes;
+  ipc::ProcessId alpha_pid;
+  ipc::ProcessId beta_pid;
+  ipc::ProcessId prefix_pid;
+};
+
+}  // namespace v::test
