@@ -1,0 +1,162 @@
+// E7: multi-worker server teams — head-of-line blocking elimination.
+//
+// The serial CSNH run-loop services one request to completion before
+// receiving the next, so a single slow operation (a bulk program load from
+// a disk file server: ONE request, ~30 disk pages at 15 ms each) stalls
+// every queued open behind it.  The receptionist + worker-team structure
+// lets independent opens proceed on other workers while the slow transfer
+// is in flight.
+//
+// Workload: 8 concurrent clients on ws1 against a disk file server on fs1
+// reached through the context prefix server.
+//   - 1 streamer  : repeated bulk reads of a 16 KB disk file ([d]big.dat)
+//     — the slow remote transfer that is always in flight.
+//   - 7 openers   : alternate a local open ([l]small.dat, memory file
+//     server on ws1) and a remote open ([d]small.dat, the contended disk
+//     server), with a short think time.
+// Both the prefix server and the disk server run with the swept team size;
+// open latency is sampled at the client across all opens.
+//
+// Expectation: p99 collapses once a second worker can overtake the bulk
+// transfer; the issue's acceptance bar is >= 2x p99 improvement for
+// 4 workers versus the serial loop.
+#include "bench_util.hpp"
+
+#include "naming/protocol.hpp"
+#include "sim/stats.hpp"
+#include "svc/file.hpp"
+
+using namespace v;
+using sim::Co;
+using sim::to_ms;
+
+namespace {
+
+constexpr int kOpeners = 7;
+constexpr int kIterations = 30;
+
+struct TeamResult {
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+  std::size_t samples = 0;
+  std::uint64_t sheds = 0;
+};
+
+TeamResult measure(std::size_t workers) {
+  ipc::Domain dom(ipc::CalibrationParams::SunWorkstation3Mbit());
+  auto& ws1 = dom.add_host("ws1");
+  auto& fs1 = dom.add_host("fs1");
+
+  const naming::TeamConfig team{.workers = workers, .queue_cap = 128};
+  servers::FileServer local_fs("local", servers::DiskModel::kMemory, false,
+                               team);
+  servers::FileServer disk_fs("disk", servers::DiskModel::kDisk, true, team);
+  servers::ContextPrefixServer prefixes("user", true, team);
+  local_fs.put_file("small.dat", "local bytes");
+  disk_fs.put_file("small.dat", "remote bytes");
+  disk_fs.put_file("big.dat", std::string(16 * 1024, 'x'));
+
+  const auto local_pid =
+      ws1.spawn("local-fs", [&](ipc::Process p) { return local_fs.run(p); });
+  const auto disk_pid =
+      fs1.spawn("disk-fs", [&](ipc::Process p) { return disk_fs.run(p); });
+  prefixes.define("l", {.target = {local_pid, naming::kDefaultContext}});
+  prefixes.define("d", {.target = {disk_pid, naming::kDefaultContext}});
+  ws1.spawn("prefix-server", [&](ipc::Process p) { return prefixes.run(p); });
+
+  sim::Accumulator open_ms;
+  int done = 0;
+
+  // The slow remote transfer, always in flight until the openers finish:
+  // each bulk read is ONE request that holds a worker for every disk page.
+  ws1.spawn("streamer", [&](ipc::Process self) -> Co<void> {
+    auto rt = co_await svc::Rt::attach(
+        self, {local_pid, naming::kDefaultContext});
+    while (done < kOpeners) {
+      auto opened = co_await rt.open("[d]big.dat", naming::wire::kOpenRead);
+      if (!opened.ok()) continue;
+      svc::File f = opened.take();
+      (void)co_await f.read_bulk();
+      (void)co_await f.close();
+    }
+  });
+
+  for (int c = 0; c < kOpeners; ++c) {
+    ws1.spawn("opener", [&](ipc::Process self) -> Co<void> {
+      auto rt = co_await svc::Rt::attach(
+          self, {local_pid, naming::kDefaultContext});
+      auto timed_open = [&](std::string_view name) -> Co<void> {
+        const auto t0 = self.now();
+        auto opened = co_await rt.open(name, naming::wire::kOpenRead);
+        open_ms.add(to_ms(self.now() - t0));
+        if (opened.ok()) {
+          svc::File f = opened.take();
+          (void)co_await f.close();
+        }
+      };
+      for (int i = 0; i < kIterations; ++i) {
+        co_await timed_open("[l]small.dat");
+        co_await timed_open("[d]small.dat");
+        co_await self.delay(5 * sim::kMillisecond);
+      }
+      ++done;
+    });
+  }
+
+  dom.run();
+  TeamResult result;
+  if (dom.process_failures() != 0) {
+    std::fprintf(stderr, "BENCH FAILURE: %s\n", dom.first_failure().c_str());
+    return result;
+  }
+  result.p50 = open_ms.percentile(0.50);
+  result.p99 = open_ms.percentile(0.99);
+  result.mean = open_ms.mean();
+  result.samples = open_ms.samples().size();
+  result.sheds = disk_fs.shed_count() + prefixes.shed_count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::headline("E7",
+                  "Server teams: open latency vs worker count (8 clients)");
+  bench::note("workload: 1 bulk streamer + 7 open/close clients,");
+  bench::note("local memory server + remote disk server via prefix server;");
+  bench::note("both CSNH servers run the swept team size.");
+  bench::note("calibration: SunWorkstation3Mbit");
+
+  double p99_serial = 0;
+  double p99_four = 0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const TeamResult r = measure(workers);
+    if (r.samples == 0) return 1;
+    char label[64];
+    std::snprintf(label, sizeof(label), "workers=%zu  open p50", workers);
+    bench::row(label, r.p50);
+    std::snprintf(label, sizeof(label), "workers=%zu  open p99", workers);
+    bench::row(label, r.p99);
+    std::snprintf(label, sizeof(label), "workers=%zu  open mean", workers);
+    bench::row(label, r.mean);
+    if (r.sheds != 0) {
+      std::snprintf(label, sizeof(label), "workers=%zu  sheds=%llu", workers,
+                    static_cast<unsigned long long>(r.sheds));
+      bench::note(label);
+    }
+    if (workers == 1) p99_serial = r.p99;
+    if (workers == 4) p99_four = r.p99;
+  }
+
+  const double speedup = p99_four > 0 ? p99_serial / p99_four : 0;
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "p99 improvement, 4 workers vs serial: %.1fx (target >= 2x)",
+                speedup);
+  bench::note(line);
+  const bool pass = speedup >= 2.0;
+  bench::note(pass ? "ACCEPTANCE: PASS" : "ACCEPTANCE: FAIL");
+  return bench::finish(json_path, pass ? 0 : 1);
+}

@@ -19,10 +19,98 @@
 
 namespace v::bench {
 
+/// Machine-readable mirror of the printed report.  Every headline/row/note
+/// call is recorded here; `write_json` (invoked automatically when the
+/// binary is run with `--json <path>`) emits the whole report as JSON so
+/// results can be checked in and diffed (e.g. BENCH_server_team.json).
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void set_headline(std::string id, std::string title) {
+    sections_.push_back({std::move(id), std::move(title), {}, {}});
+  }
+  void add_row(const std::string& label, double measured_ms,
+               double paper_ms) {
+    if (sections_.empty()) sections_.push_back({"", "", {}, {}});
+    sections_.back().rows.push_back({label, measured_ms, paper_ms});
+  }
+  void add_note(const std::string& text) {
+    if (sections_.empty()) sections_.push_back({"", "", {}, {}});
+    sections_.back().notes.push_back(text);
+  }
+
+  /// Serialise everything recorded so far to `path`.  Returns false on
+  /// I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"sections\": [\n");
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const Section& sec = sections_[s];
+      std::fprintf(f, "    {\n      \"id\": \"%s\",\n      \"title\": \"%s\",\n",
+                   escape(sec.id).c_str(), escape(sec.title).c_str());
+      std::fprintf(f, "      \"rows\": [\n");
+      for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+        const Row& row = sec.rows[r];
+        std::fprintf(f, "        {\"label\": \"%s\", \"measured_ms\": %.4f",
+                     escape(row.label).c_str(), row.measured_ms);
+        if (row.paper_ms >= 0) {
+          std::fprintf(f, ", \"paper_ms\": %.4f", row.paper_ms);
+        }
+        std::fprintf(f, "}%s\n", r + 1 < sec.rows.size() ? "," : "");
+      }
+      std::fprintf(f, "      ],\n      \"notes\": [\n");
+      for (std::size_t n = 0; n < sec.notes.size(); ++n) {
+        std::fprintf(f, "        \"%s\"%s\n", escape(sec.notes[n]).c_str(),
+                     n + 1 < sec.notes.size() ? "," : "");
+      }
+      std::fprintf(f, "      ]\n    }%s\n",
+                   s + 1 < sections_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    double measured_ms;
+    double paper_ms;
+  };
+  struct Section {
+    std::string id;
+    std::string title;
+    std::vector<Row> rows;
+    std::vector<std::string> notes;
+  };
+
+  static std::string escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Section> sections_;
+};
+
 inline void headline(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("================================================================\n");
+  JsonReport::instance().set_headline(id, title);
 }
 
 inline void row(const std::string& label, double measured_ms,
@@ -34,10 +122,34 @@ inline void row(const std::string& label, double measured_ms,
   } else {
     std::printf("  %-44s %9.2f ms\n", label.c_str(), measured_ms);
   }
+  JsonReport::instance().add_row(label, measured_ms, paper_ms);
 }
 
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
+  JsonReport::instance().add_note(text);
+}
+
+/// Parse `--json <path>` from argv.  Call once at the top of main(); if
+/// present, the report is flushed to `path` by `finish()`.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Flush the JSON report if `--json` was given.  Returns the process exit
+/// code: `ok_exit` normally, 1 if the report could not be written.
+inline int finish(const std::string& json_path, int ok_exit = 0) {
+  if (json_path.empty()) return ok_exit;
+  if (!JsonReport::instance().write(json_path)) {
+    std::fprintf(stderr, "BENCH FAILURE: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("\n  JSON report written to %s\n", json_path.c_str());
+  return ok_exit;
 }
 
 /// Run `body` as a client process on `host` and drain the simulation.

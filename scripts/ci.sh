@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Minimal CI: build + tier-1 tests, plain and under address/UB sanitizers.
+#
+#   scripts/ci.sh          # plain RelWithDebInfo build + ctest
+#   scripts/ci.sh asan     # Debug + -fsanitize=address,undefined + ctest
+#   scripts/ci.sh all      # both, plain first
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}"
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}" -j "$(nproc)"
+}
+
+case "${1:-default}" in
+  default) run_preset default ;;
+  asan)    run_preset asan ;;
+  all)     run_preset default; run_preset asan ;;
+  *) echo "usage: $0 [default|asan|all]" >&2; exit 2 ;;
+esac
+echo "CI OK"

@@ -23,6 +23,7 @@ std::string_view to_string(ReplyCode code) noexcept {
     case ReplyCode::kNoInverse: return "NO_INVERSE";
     case ReplyCode::kTimeout: return "TIMEOUT";
     case ReplyCode::kStaleBinding: return "STALE_BINDING";
+    case ReplyCode::kBusy: return "BUSY";
   }
   return "UNKNOWN_REPLY_CODE";
 }

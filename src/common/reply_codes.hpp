@@ -38,6 +38,8 @@ enum class ReplyCode : std::uint16_t {
   kTimeout = 17,            ///< Operation timed out (group sends).
   kStaleBinding = 18,       ///< Centralized baseline: registry entry points
                             ///< at an object that no longer exists.
+  kBusy = 19,               ///< Server team saturated: work queue full, the
+                            ///< request was shed.  Clients may retry.
 };
 
 /// Human-readable name for a reply code (for logs, tests and examples).

@@ -46,16 +46,19 @@ InstanceId InstanceTable::add(std::unique_ptr<InstanceObject> object) {
   return id;
 }
 
-InstanceObject* InstanceTable::find(InstanceId id) {
+std::shared_ptr<InstanceObject> InstanceTable::find(InstanceId id) {
   auto it = instances_.find(id);
-  return it != instances_.end() ? it->second.get() : nullptr;
+  return it != instances_.end() ? it->second : nullptr;
 }
 
 bool InstanceTable::release(ipc::Process& self, InstanceId id) {
   auto it = instances_.find(id);
   if (it == instances_.end()) return false;
-  it->second->release(self);
+  // Keep the object alive past erase: another team worker may still be
+  // suspended inside one of its operations.
+  std::shared_ptr<InstanceObject> object = it->second;
   instances_.erase(it);
+  object->release(self);
   return true;
 }
 

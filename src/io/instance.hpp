@@ -89,13 +89,21 @@ class BufferInstance : public InstanceObject {
 };
 
 /// Table of open instances with late-reuse id allocation.
+///
+/// Entries are shared_ptrs: with multi-worker server teams, one worker can
+/// be suspended inside read_block/write_block while another processes the
+/// ReleaseInstance for the same id.  Release removes the table entry (new
+/// lookups fail) but the in-flight worker's reference keeps the object
+/// alive until its operation completes — the serial run loop used to
+/// guarantee this by never interleaving; the refcount now does.
 class InstanceTable {
  public:
   /// Register an open object; returns its new instance id.
   InstanceId add(std::unique_ptr<InstanceObject> object);
 
-  /// Look up an instance (nullptr when the id is not open).
-  [[nodiscard]] InstanceObject* find(InstanceId id);
+  /// Look up an instance (null when the id is not open).  Hold the
+  /// returned shared_ptr across any co_await that touches the object.
+  [[nodiscard]] std::shared_ptr<InstanceObject> find(InstanceId id);
 
   /// Close and remove an instance.  Returns false for unknown ids.
   bool release(ipc::Process& self, InstanceId id);
@@ -105,7 +113,7 @@ class InstanceTable {
   }
 
  private:
-  std::map<InstanceId, std::unique_ptr<InstanceObject>> instances_;
+  std::map<InstanceId, std::shared_ptr<InstanceObject>> instances_;
   InstanceId next_id_ = 1;
 };
 

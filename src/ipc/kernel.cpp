@@ -263,6 +263,18 @@ ProcessId Host::spawn(std::string name,
   return rec.pid;
 }
 
+std::vector<ProcessId> Host::spawn_team(
+    const std::string& base, std::size_t count,
+    std::function<sim::Co<void>(Process, std::size_t)> body) {
+  std::vector<ProcessId> members;
+  members.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    members.push_back(spawn(base + "." + std::to_string(i),
+                            [body, i](Process p) { return body(p, i); }));
+  }
+  return members;
+}
+
 void Host::crash() {
   if (!alive_) return;
   alive_ = false;
@@ -308,7 +320,14 @@ ProcessId Host::lookup_remote(ServiceId service) const {
 // ---------------------------------------------------------------------------
 
 Domain::Domain(CalibrationParams params, std::uint64_t seed)
-    : params_(params), rng_(seed) {}
+    : params_(params), rng_(seed) {
+  // Typical installations run tens of processes; teams multiply that.
+  // Reserving up front keeps record creation out of rehash/regrow churn,
+  // but stays modest so that cheap throwaway domains (unit tests,
+  // micro-benchmarks) don't pay for a big empty bucket array.
+  records_.reserve(64);
+  by_pid_.reserve(64);
+}
 
 Domain::~Domain() = default;
 

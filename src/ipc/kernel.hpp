@@ -26,6 +26,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -33,6 +34,7 @@
 #include "ipc/process_id.hpp"
 #include "msg/message.hpp"
 #include "sim/awaitables.hpp"
+#include "sim/condition.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
@@ -151,6 +153,13 @@ class Process {
   [[nodiscard]] sim::Co<Result<std::size_t>> move_to(
       ProcessId dest, std::span<const std::byte> src, std::size_t offset = 0);
 
+  /// Park this process on `queue` until another fiber notifies it (FIFO,
+  /// kill-safe).  The intra-team blocking primitive: server worker
+  /// processes wait on their team's work queue with this.
+  [[nodiscard]] sim::WaitQueue::Awaiter wait_on(sim::WaitQueue& queue) const {
+    return queue.wait(fiber_state());
+  }
+
   /// Consume simulated time (CPU work or waiting).
   [[nodiscard]] sim::DelayAwaiter delay(sim::SimDuration d) const;
   /// Semantic alias for CPU cost accounting.
@@ -170,9 +179,13 @@ class Process {
   void join_group(GroupId group);
   void leave_group(GroupId group);
 
+  /// Observer handle for this process's fiber (kill flag).  Custom
+  /// awaitables built outside the kernel (server-team gates and wait
+  /// queues) capture it so a resume after kill throws FiberKilled.
+  [[nodiscard]] std::shared_ptr<sim::FiberState> fiber_state() const;
+
  private:
   detail::ProcessRecord& record() const;
-  std::shared_ptr<sim::FiberState> fiber_state() const;
 
   Domain* domain_;
   ProcessId pid_;
@@ -195,6 +208,15 @@ class Host {
   /// simulated time via a scheduled event.  Returns its pid immediately.
   ProcessId spawn(std::string name,
                   std::function<sim::Co<void>(Process)> body);
+
+  /// Spawn `count` processes forming one server team (paper section 3:
+  /// "a server is typically implemented as a team of processes" so one
+  /// slow request does not stall the service).  Members are named
+  /// "`base`.N" and each body receives its member index.  All members run
+  /// on this host and die with it on crash — exactly a V team's fate.
+  std::vector<ProcessId> spawn_team(
+      const std::string& base, std::size_t count,
+      std::function<sim::Co<void>(Process, std::size_t)> body);
 
   /// Crash this host: every process dies, registrations vanish, blocked
   /// remote senders get kNoReply, in-flight messages to it are dropped.
@@ -317,7 +339,9 @@ class Domain {
   std::vector<std::unique_ptr<Host>> hosts_;
   // Stable storage: records never move or die before the Domain does.
   std::vector<std::unique_ptr<detail::ProcessRecord>> records_;
-  std::map<std::uint32_t, detail::ProcessRecord*> by_pid_;
+  // Hash map, not std::map: pid lookup is on every deliver/reply/move hot
+  // path and pids carry no useful ordering (they are allocated randomly).
+  std::unordered_map<std::uint32_t, detail::ProcessRecord*> by_pid_;
   std::map<GroupId, std::vector<ProcessId>> groups_;
   DomainStats stats_;
   std::size_t failures_ = 0;

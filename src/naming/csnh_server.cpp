@@ -64,16 +64,120 @@ class ContextDirectoryInstance : public io::BufferInstance {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Run loop and dispatch
+// Run loop and dispatch (receptionist + worker team)
 // ---------------------------------------------------------------------------
 
 sim::Co<void> CsnhServer::run(ipc::Process self) {
   pid_ = self.pid();
+  // Re-spawn safety (crash + restart reuses the server object): drop any
+  // backlog and gate state the previous incarnation left behind.
+  work_queue_.clear();
+  gates_.clear();
+  if (team_.workers == 0) team_.workers = 1;
+  if (team_.queue_cap == 0) team_.queue_cap = 1;
   co_await on_start(self);
+  if (team_.workers == 1) {
+    // Classic serial server: one process receives and dispatches.
+    for (;;) {
+      auto env = co_await self.receive();
+      co_await dispatch(self, std::move(env));
+    }
+  }
+  // Team mode.  Workers live on the same host (a V team shares a machine
+  // and dies with it) and pull from the shared queue; the receptionist
+  // fiber below only receives, sheds, and enqueues — it never co_awaits a
+  // dispatch, so a slow request occupies one worker, not the whole server.
+  auto& host = *self.domain().hosts()[self.host_id() - 1];
+  host.spawn_team(self.domain().process_name(pid_) + "-worker", team_.workers,
+                  [this](ipc::Process worker, std::size_t /*index*/) {
+                    return worker_loop(worker);
+                  });
   for (;;) {
     auto env = co_await self.receive();
+    if (work_queue_.size() >= team_.queue_cap) {
+      ++sheds_;
+      self.reply(msg::make_reply(ReplyCode::kBusy), env.sender);
+      continue;
+    }
+    work_queue_.push_back(std::move(env));
+    work_ready_.notify_one(self.domain().loop());
+  }
+}
+
+sim::Co<void> CsnhServer::worker_loop(ipc::Process self) {
+  for (;;) {
+    while (work_queue_.empty()) {
+      co_await self.wait_on(work_ready_);
+    }
+    ipc::Envelope env = std::move(work_queue_.front());
+    work_queue_.pop_front();
     co_await dispatch(self, std::move(env));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Mutating-op serialization gates
+// ---------------------------------------------------------------------------
+
+bool CsnhServer::mutates_name(std::uint16_t code,
+                              std::uint16_t mode) noexcept {
+  if (defines_leaf(code)) return true;
+  switch (code) {
+    case RequestCode::kModifyName:
+      return true;
+    case RequestCode::kCreateInstance:
+      return (mode & wire::kOpenCreate) != 0;  // open may create the leaf
+    case RequestCode::kMapContextName:
+    case RequestCode::kQueryName:
+      return false;
+    default:
+      // Custom CSname codes: the base cannot prove they are read-only.
+      return msg::is_csname_request(code);
+  }
+}
+
+bool CsnhServer::GateLock::await_ready() {
+  Gate& gate = server_.gates_[key_];
+  if (!gate.held) {
+    gate.held = true;
+    acquired_ = true;
+    return true;  // uncontended: acquire without suspending
+  }
+  return false;
+}
+
+void CsnhServer::GateLock::await_suspend(std::coroutine_handle<> h) {
+  handle_ = h;
+  queued_ = true;
+  server_.gates_[key_].waiters.push_back(this);
+}
+
+void CsnhServer::GateLock::await_resume() const {
+  if (fiber_ && fiber_->killed) throw sim::FiberKilled{};
+}
+
+CsnhServer::GateLock::~GateLock() {
+  auto it = server_.gates_.find(key_);
+  if (it == server_.gates_.end()) return;  // gates_ cleared by a re-run
+  Gate& gate = it->second;
+  if (!acquired_) {
+    // Died while still waiting: unlink so the releaser never grants a
+    // destroyed frame.
+    std::erase(gate.waiters, this);
+    if (!gate.held && gate.waiters.empty()) server_.gates_.erase(it);
+    return;
+  }
+  // Hand the gate to the next waiter (FIFO) or retire it.
+  while (!gate.waiters.empty()) {
+    GateLock* next = gate.waiters.front();
+    gate.waiters.pop_front();
+    next->queued_ = false;
+    next->acquired_ = true;  // ownership transfers even if killed: its
+                             // resume throws and ITS destructor re-releases
+    loop_.schedule_after(0, [h = next->handle_] { h.resume(); });
+    return;
+  }
+  server_.gates_.erase(it);
 }
 
 sim::Co<void> CsnhServer::dispatch(ipc::Process& self, ipc::Envelope env) {
@@ -231,7 +335,16 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
     co_return;
   }
 
-  // 5. Dispatch the operation against (ctx, leaf).
+  // 5. Dispatch the operation against (ctx, leaf).  Mutating operations
+  //    first acquire the (ctx, leaf) gate so concurrent team workers apply
+  //    them one at a time, in FIFO grant order; read-only operations skip
+  //    the gate and run fully parallel.  Held until co_return (the lock is
+  //    released by ~GateLock when this frame unwinds, after the reply).
+  GateLock gate(*this, self.domain().loop(), self.fiber_state(),
+                GateKey{ctx, std::string(leaf)});
+  if (mutates_name(code, msg::cs::mode(env.request))) {
+    co_await gate;
+  }
   Message reply;
   switch (code) {
     case RequestCode::kMapContextName: {
@@ -439,7 +552,10 @@ sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
     ipc::Process& self, ipc::Envelope& env) {
   const auto id =
       static_cast<io::InstanceId>(env.request.u16(io::kOffInstance));
-  io::InstanceObject* object = instances_.find(id);
+  // Hold a shared reference across the co_awaits below: a concurrent team
+  // worker may Release this id mid-operation (the table entry goes away;
+  // the object must not).
+  std::shared_ptr<io::InstanceObject> object = instances_.find(id);
   switch (env.request.code()) {
     case RequestCode::kQueryInstance: {
       if (object == nullptr) {

@@ -23,11 +23,15 @@
 // the paper claims for the distributed model.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -39,23 +43,59 @@
 #include "naming/descriptor.hpp"
 #include "naming/protocol.hpp"
 #include "naming/types.hpp"
+#include "sim/condition.hpp"
 #include "sim/task.hpp"
 
 namespace v::naming {
+
+/// Concurrency knobs for one server team (paper section 3: V servers are
+/// teams of processes, so one slow request never stalls the service).
+///
+///   workers    — worker processes pulling from the team's work queue.
+///                1 = classic serial loop (receive/dispatch in one fiber,
+///                no queue, no shedding).  >1 = receptionist + worker pool.
+///   queue_cap  — bound on queued (accepted but not yet dispatched)
+///                requests.  At the bound the receptionist sheds new
+///                requests with an immediate kBusy reply instead of letting
+///                the backlog (and client latency) grow without limit.
+struct TeamConfig {
+  std::size_t workers = 1;
+  std::size_t queue_cap = 64;
+};
 
 class CsnhServer {
  public:
   virtual ~CsnhServer() = default;
 
-  /// The server's process body.  Spawn it with:
+  /// The server's process body — the team RECEPTIONIST.  Spawn it with:
   ///   host.spawn("fs", [srv](ipc::Process p) { return srv->run(p); });
   /// The CsnhServer object must outlive the domain run.
+  ///
+  /// With team().workers == 1 this is the classic serial loop.  With more,
+  /// the receptionist only receives and enqueues; worker processes (spawned
+  /// on the same host via Host::spawn_team) dispatch concurrently.  Replies
+  /// still quote pid() — the receptionist's pid is the server's public
+  /// name; workers are anonymous team members.
   [[nodiscard]] sim::Co<void> run(ipc::Process self);
 
   /// Pid of the running server process (valid once run() has started).
   [[nodiscard]] ipc::ProcessId pid() const noexcept { return pid_; }
 
+  /// Team knobs.  set_team must be called before run() starts.
+  void set_team(TeamConfig team) noexcept { team_ = team; }
+  [[nodiscard]] const TeamConfig& team() const noexcept { return team_; }
+
+  /// Requests shed with kBusy because the work queue was at queue_cap.
+  [[nodiscard]] std::uint64_t shed_count() const noexcept { return sheds_; }
+  /// Requests accepted but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return work_queue_.size();
+  }
+
  protected:
+  CsnhServer() = default;
+  explicit CsnhServer(TeamConfig team) noexcept : team_(team) {}
+
   /// Result of looking up one name component in a context.
   struct LookupResult {
     enum class Kind {
@@ -214,6 +254,55 @@ class CsnhServer {
   [[nodiscard]] io::InstanceTable& instances() noexcept { return instances_; }
 
  private:
+  /// One worker process: pull envelopes from the team queue, dispatch.
+  sim::Co<void> worker_loop(ipc::Process self);
+
+  // --- mutating-op serialization guard ---------------------------------------
+  // The serial loop implicitly ordered ALL operations; a worker pool keeps
+  // only the ordering that matters: operations that MUTATE the name space
+  // under one (context, leaf) run mutually excluded and FIFO (grant order =
+  // arrival order at the gate, which the deterministic event loop fixes per
+  // seed).  Read-only operations never touch a gate and run fully parallel.
+
+  using GateKey = std::pair<ContextId, std::string>;
+  struct GateLock;
+  struct Gate {
+    bool held = false;
+    std::deque<GateLock*> waiters;  ///< FIFO grant order
+  };
+
+  /// Awaitable + RAII ownership of one (ctx, leaf) gate.  `co_await lock`
+  /// acquires (immediately when free); destruction releases and grants the
+  /// next waiter.  Kill-safe: a waiter resumed after its fiber was killed
+  /// throws FiberKilled; a waiter destroyed while still queued (fiber
+  /// unwound without resume) unlinks itself.
+  struct GateLock {
+    GateLock(CsnhServer& server, sim::EventLoop& loop,
+             std::shared_ptr<sim::FiberState> fiber, GateKey key) noexcept
+        : server_(server), loop_(loop), fiber_(std::move(fiber)),
+          key_(std::move(key)) {}
+    GateLock(const GateLock&) = delete;
+    GateLock& operator=(const GateLock&) = delete;
+    ~GateLock();
+
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const;
+
+    CsnhServer& server_;
+    sim::EventLoop& loop_;
+    std::shared_ptr<sim::FiberState> fiber_;
+    GateKey key_;
+    std::coroutine_handle<> handle_ = nullptr;
+    bool acquired_ = false;  ///< we own the gate (must release)
+    bool queued_ = false;    ///< we sit in the waiters deque
+  };
+
+  /// Does `code` mutate the name space under its (ctx, leaf)?  CreateInstance
+  /// counts only with kOpenCreate (plain opens are reads); unknown custom
+  /// CSname codes count conservatively (the base cannot know better).
+  static bool mutates_name(std::uint16_t code, std::uint16_t mode) noexcept;
+
   sim::Co<void> dispatch(ipc::Process& self, ipc::Envelope env);
   sim::Co<void> handle_csname(ipc::Process& self, ipc::Envelope& env);
   sim::Co<msg::Message> do_open(ipc::Process& self, ipc::Envelope& env,
@@ -239,6 +328,13 @@ class CsnhServer {
 
   io::InstanceTable instances_;
   ipc::ProcessId pid_;
+
+  // --- team state ------------------------------------------------------------
+  TeamConfig team_;
+  std::deque<ipc::Envelope> work_queue_;  ///< accepted, awaiting a worker
+  sim::WaitQueue work_ready_;             ///< idle workers park here
+  std::uint64_t sheds_ = 0;
+  std::map<GateKey, Gate> gates_;
 };
 
 }  // namespace v::naming

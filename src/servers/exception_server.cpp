@@ -9,8 +9,9 @@ namespace v::servers {
 using naming::DescriptorType;
 using naming::ObjectDescriptor;
 
-ExceptionServer::ExceptionServer(bool register_service)
-    : register_service_(register_service) {}
+ExceptionServer::ExceptionServer(bool register_service,
+                                 naming::TeamConfig team)
+    : CsnhServer(team), register_service_(register_service) {}
 
 sim::Co<Result<std::uint16_t>> ExceptionServer::raise(
     ipc::Process self, ipc::ProcessId server, FaultCode code,

@@ -32,7 +32,8 @@ enum class FaultCode : std::uint16_t {
 
 class ExceptionServer : public naming::CsnhServer {
  public:
-  explicit ExceptionServer(bool register_service = true);
+  explicit ExceptionServer(bool register_service = true,
+                           naming::TeamConfig team = {});
 
   /// Client helper: raise an exception report at `server` (resolve it via
   /// GetPid(kExceptionServer, kLocal) first).  Returns the report id.

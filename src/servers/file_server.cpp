@@ -124,8 +124,9 @@ class FileInstance : public io::InstanceObject {
 // ---------------------------------------------------------------------------
 
 FileServer::FileServer(std::string server_name, DiskModel disk,
-                       bool register_service)
-    : name_(std::move(server_name)),
+                       bool register_service, naming::TeamConfig team)
+    : CsnhServer(team),
+      name_(std::move(server_name)),
       disk_(disk),
       register_service_(register_service) {
   auto& root = alloc(Inode::Kind::kDirectory, 0, "");
@@ -541,9 +542,9 @@ Result<std::string> FileServer::context_to_name(naming::ContextId ctx) {
 }
 
 Result<std::string> FileServer::instance_to_name(io::InstanceId instance) {
-  auto* object = instances().find(instance);
+  auto object = instances().find(instance);
   if (object == nullptr) return ReplyCode::kNoInverse;
-  auto* file = dynamic_cast<FileInstance*>(object);
+  auto* file = dynamic_cast<FileInstance*>(object.get());
   if (file == nullptr) return ReplyCode::kNoInverse;
   const auto* node = find_inode(file->inode());
   if (node == nullptr) return ReplyCode::kNoInverse;

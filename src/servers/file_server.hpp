@@ -34,7 +34,8 @@ class FileServer : public naming::CsnhServer {
   /// `server_name` labels inverse mappings; `disk` selects content timing.
   explicit FileServer(std::string server_name,
                       DiskModel disk = DiskModel::kMemory,
-                      bool register_service = true);
+                      bool register_service = true,
+                      naming::TeamConfig team = {});
 
   // --- direct (pre-run) population helpers for tests/examples --------------
   // These manipulate the store without protocol cost; simulation-time

@@ -66,8 +66,9 @@ class ConnectionInstance : public io::InstanceObject {
   std::string name_;
 };
 
-InternetServer::InternetServer(sim::SimDuration rtt, bool register_service)
-    : rtt_(rtt), register_service_(register_service) {}
+InternetServer::InternetServer(sim::SimDuration rtt, bool register_service,
+                               naming::TeamConfig team)
+    : CsnhServer(team), rtt_(rtt), register_service_(register_service) {}
 
 bool InternetServer::valid_endpoint(std::string_view name) {
   const auto colon = name.find(':');

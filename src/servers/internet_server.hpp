@@ -20,7 +20,8 @@ class InternetServer : public naming::CsnhServer {
  public:
   /// `rtt` is the simulated remote peer round-trip time per write.
   explicit InternetServer(sim::SimDuration rtt = 20 * sim::kMillisecond,
-                          bool register_service = true);
+                          bool register_service = true,
+                          naming::TeamConfig team = {});
 
   enum class ConnState { kOpen, kClosed };
 

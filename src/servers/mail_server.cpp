@@ -61,8 +61,8 @@ class MailboxInstance : public io::InstanceObject {
   std::string name_;
 };
 
-MailServer::MailServer(bool register_service)
-    : register_service_(register_service) {}
+MailServer::MailServer(bool register_service, naming::TeamConfig team)
+    : CsnhServer(team), register_service_(register_service) {}
 
 Result<std::size_t> MailServer::message_count(std::string_view mailbox) const {
   auto it = mailboxes_.find(mailbox);

@@ -20,7 +20,8 @@ namespace v::servers {
 
 class MailServer : public naming::CsnhServer {
  public:
-  explicit MailServer(bool register_service = true);
+  explicit MailServer(bool register_service = true,
+                      naming::TeamConfig team = {});
 
   [[nodiscard]] std::size_t mailbox_count() const noexcept {
     return mailboxes_.size();

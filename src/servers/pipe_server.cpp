@@ -10,6 +10,24 @@ namespace v::servers {
 using naming::DescriptorType;
 using naming::ObjectDescriptor;
 
+namespace {
+
+/// Marks a Pipe as "in service" for the duration of a scope that suspends
+/// while holding a Pipe&.  remove() refuses to erase a pipe whose counter
+/// is non-zero, so the reference can never dangle even with a worker team.
+class ServiceScope {
+ public:
+  explicit ServiceScope(int& count) noexcept : count_(count) { ++count_; }
+  ~ServiceScope() { --count_; }
+  ServiceScope(const ServiceScope&) = delete;
+  ServiceScope& operator=(const ServiceScope&) = delete;
+
+ private:
+  int& count_;
+};
+
+}  // namespace
+
 /// One open end of a pipe.  The instance's role in the table is only
 /// bookkeeping (naming the temporary object, counting ends); the actual
 /// read/write paths are intercepted in PipeServer::handle_instance_op so
@@ -60,8 +78,8 @@ class PipeEndInstance : public io::InstanceObject {
   bool writer_;
 };
 
-PipeServer::PipeServer(std::size_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
+PipeServer::PipeServer(std::size_t capacity_bytes, naming::TeamConfig team)
+    : CsnhServer(team), capacity_bytes_(capacity_bytes) {}
 
 Result<std::size_t> PipeServer::buffered(std::string_view pipe) const {
   auto it = pipes_.find(pipe);
@@ -129,8 +147,8 @@ sim::Co<ReplyCode> PipeServer::remove(ipc::Process& /*self*/,
   auto it = pipes_.find(leaf);
   if (it == pipes_.end()) co_return ReplyCode::kNotFound;
   if (it->second.writer_ends > 0 || it->second.reader_ends > 0 ||
-      !it->second.blocked_readers.empty()) {
-    co_return ReplyCode::kBadState;  // ends still open
+      !it->second.blocked_readers.empty() || it->second.in_service > 0) {
+    co_return ReplyCode::kBadState;  // ends still open or mid-transfer
   }
   pipes_.erase(it);
   co_return ReplyCode::kOk;
@@ -187,17 +205,22 @@ sim::Co<void> PipeServer::serve_read(ipc::Process& self,
     self.reply(msg::make_reply(ReplyCode::kEndOfFile), env.sender);
     co_return;
   }
+  // Claim the bytes BEFORE suspending in move_to: with a worker team a
+  // second read can be serviced while this one is mid-transfer, and both
+  // must ship distinct chunks of the stream.
+  ServiceScope busy(pipe.in_service);
   std::vector<std::byte> out(pipe.buffer.begin(),
                              pipe.buffer.begin() +
                                  static_cast<std::ptrdiff_t>(n));
-  auto moved = co_await self.move_to(env.sender, out);
-  if (!moved.ok()) {
-    // Reader vanished; drop the bytes back?  V semantics: the bytes were
-    // consumed by a dead reader — keep them for the next reader instead.
-    co_return;
-  }
   pipe.buffer.erase(pipe.buffer.begin(),
                     pipe.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  auto moved = co_await self.move_to(env.sender, out);
+  if (!moved.ok()) {
+    // Reader vanished mid-transfer: restore the unclaimed bytes at the
+    // front so the stream position is preserved for the next reader.
+    pipe.buffer.insert(pipe.buffer.begin(), out.begin(), out.end());
+    co_return;
+  }
   msg::Message reply = msg::make_reply(ReplyCode::kOk);
   reply.set_u16(io::kOffXferCount, static_cast<std::uint16_t>(n));
   reply.set_u32(io::kOffXferCountLong, static_cast<std::uint32_t>(n));
@@ -205,6 +228,7 @@ sim::Co<void> PipeServer::serve_read(ipc::Process& self,
 }
 
 sim::Co<void> PipeServer::drain_blocked(ipc::Process& self, Pipe& pipe) {
+  ServiceScope busy(pipe.in_service);
   while (!pipe.blocked_readers.empty() &&
          (!pipe.buffer.empty() ||
           (pipe.writer_ends == 0 && pipe.had_writer))) {
@@ -218,7 +242,10 @@ sim::Co<std::optional<msg::Message>> PipeServer::handle_instance_op(
     ipc::Process& self, ipc::Envelope& env) {
   const auto id =
       static_cast<io::InstanceId>(env.request.u16(io::kOffInstance));
-  auto* end = dynamic_cast<PipeEndInstance*>(instances().find(id));
+  // `held` keeps the end alive across the co_awaits below even if another
+  // team worker releases this instance id concurrently.
+  std::shared_ptr<io::InstanceObject> held = instances().find(id);
+  auto* end = dynamic_cast<PipeEndInstance*>(held.get());
   if (end == nullptr) {
     co_return co_await CsnhServer::handle_instance_op(self, env);
   }
@@ -253,8 +280,15 @@ sim::Co<std::optional<msg::Message>> PipeServer::handle_instance_op(
         co_return msg::make_reply(ReplyCode::kNoServerResources);
       }
       std::vector<std::byte> data(count);
-      auto fetched = co_await self.move_from(env.sender, data, 0);
-      if (!fetched.ok()) co_return msg::make_reply(fetched.code());
+      {
+        ServiceScope busy(pipe.in_service);
+        auto fetched = co_await self.move_from(env.sender, data, 0);
+        if (!fetched.ok()) co_return msg::make_reply(fetched.code());
+      }
+      if (pipe.buffer.size() + count > capacity_bytes_) {
+        // A concurrent writer filled the pipe while we were fetching.
+        co_return msg::make_reply(ReplyCode::kNoServerResources);
+      }
       pipe.buffer.insert(pipe.buffer.end(), data.begin(), data.end());
       msg::Message reply = msg::make_reply(ReplyCode::kOk);
       reply.set_u16(io::kOffXferCount, count);

@@ -22,7 +22,8 @@ namespace v::servers {
 
 class PipeServer : public naming::CsnhServer {
  public:
-  explicit PipeServer(std::size_t capacity_bytes = 64 * 1024);
+  explicit PipeServer(std::size_t capacity_bytes = 64 * 1024,
+                      naming::TeamConfig team = {});
 
   [[nodiscard]] std::size_t pipe_count() const noexcept {
     return pipes_.size();
@@ -64,6 +65,9 @@ class PipeServer : public naming::CsnhServer {
                               ///< (FIFO-open semantics)
     std::deque<ipc::Envelope> blocked_readers;  ///< un-replied reads
     std::uint32_t created = 0;
+    int in_service = 0;  ///< operations suspended while holding a Pipe&
+                         ///< (team workers run concurrently); remove()
+                         ///< refuses while non-zero
   };
 
   naming::ObjectDescriptor describe_pipe(const std::string& name,

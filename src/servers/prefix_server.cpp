@@ -11,8 +11,11 @@ using naming::DescriptorType;
 using naming::ObjectDescriptor;
 
 ContextPrefixServer::ContextPrefixServer(std::string user,
-                                         bool register_service)
-    : user_(std::move(user)), register_service_(register_service) {}
+                                         bool register_service,
+                                         naming::TeamConfig team)
+    : CsnhServer(team),
+      user_(std::move(user)),
+      register_service_(register_service) {}
 
 void ContextPrefixServer::define(std::string prefix, Entry entry) {
   table_[std::move(prefix)] = entry;

@@ -26,7 +26,8 @@ class ContextPrefixServer : public naming::CsnhServer {
  public:
   /// `user` labels the per-user instance (descriptor owner field).
   explicit ContextPrefixServer(std::string user = "user",
-                               bool register_service = true);
+                               bool register_service = true,
+                               naming::TeamConfig team = {});
 
   /// One prefix table entry: ordinary (pid-bound), logical (service-bound,
   /// GetPid at each use) or group (multicast to a server group, section 7).

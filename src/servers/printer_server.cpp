@@ -48,8 +48,9 @@ class PrintJobInstance : public io::InstanceObject {
 };
 
 PrinterServer::PrinterServer(std::uint32_t bytes_per_second,
-                             bool register_service)
-    : bytes_per_second_(bytes_per_second),
+                             bool register_service, naming::TeamConfig team)
+    : CsnhServer(team),
+      bytes_per_second_(bytes_per_second),
       register_service_(register_service) {}
 
 void PrinterServer::schedule_job(Job& job, sim::SimTime now) {

@@ -19,7 +19,8 @@ class PrinterServer : public naming::CsnhServer {
  public:
   /// `bytes_per_second` models printer throughput for status derivation.
   explicit PrinterServer(std::uint32_t bytes_per_second = 1000,
-                         bool register_service = true);
+                         bool register_service = true,
+                         naming::TeamConfig team = {});
 
   enum class JobStatus { kQueued, kPrinting, kDone };
 

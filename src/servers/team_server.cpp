@@ -10,8 +10,9 @@ using naming::DescriptorType;
 using naming::ObjectDescriptor;
 
 TeamServer::TeamServer(naming::ContextPair default_context,
-                       bool register_service)
-    : default_context_(default_context),
+                       bool register_service, naming::TeamConfig team)
+    : CsnhServer(team),
+      default_context_(default_context),
       register_service_(register_service) {}
 
 sim::Co<void> TeamServer::on_start(ipc::Process& self) {

@@ -30,7 +30,8 @@ class TeamServer : public naming::CsnhServer {
  public:
   /// `default_context` is the context for program names without a prefix.
   explicit TeamServer(naming::ContextPair default_context,
-                      bool register_service = true);
+                      bool register_service = true,
+                      naming::TeamConfig team = {});
 
   [[nodiscard]] std::size_t program_count() const noexcept {
     return programs_.size();

@@ -56,8 +56,9 @@ class TerminalInstance : public io::InstanceObject {
   std::string name_;
 };
 
-TerminalServer::TerminalServer(bool register_service)
-    : register_service_(register_service) {}
+TerminalServer::TerminalServer(bool register_service,
+                               naming::TeamConfig team)
+    : CsnhServer(team), register_service_(register_service) {}
 
 Result<std::string> TerminalServer::transcript(std::string_view name) const {
   auto it = terminals_.find(name);

@@ -18,7 +18,8 @@ namespace v::servers {
 
 class TerminalServer : public naming::CsnhServer {
  public:
-  explicit TerminalServer(bool register_service = true);
+  explicit TerminalServer(bool register_service = true,
+                          naming::TeamConfig team = {});
 
   [[nodiscard]] std::size_t terminal_count() const noexcept {
     return terminals_.size();

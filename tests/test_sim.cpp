@@ -46,6 +46,25 @@ TEST(EventLoop, PastSchedulingClampsToNow) {
   EXPECT_EQ(seen, 100);
 }
 
+TEST(EventLoop, PastSchedulingPreservesFifoOrder) {
+  // Regression: events scheduled in the past are clamped to now() and must
+  // fire in SCHEDULING order relative to each other and to events already
+  // scheduled at now() — the clamp must not reorder them.  The worker-team
+  // run loop relies on this for deterministic wakeup/grant ordering.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(100, [&] { order.push_back(0); });  // exactly now
+    loop.schedule_at(10, [&] { order.push_back(1); });   // past -> clamped
+    loop.schedule_at(0, [&] { order.push_back(2); });    // further past
+    loop.schedule_at(100, [&] { order.push_back(3); });
+    loop.schedule_at(50, [&] { order.push_back(4); });   // past again
+  });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(loop.now(), 100);
+}
+
 TEST(EventLoop, EventsCanScheduleMoreEvents) {
   EventLoop loop;
   int count = 0;

@@ -27,14 +27,15 @@ struct VFixture {
   explicit VFixture(
       ipc::CalibrationParams params =
           ipc::CalibrationParams::SunWorkstation3Mbit(),
-      servers::DiskModel disk = servers::DiskModel::kMemory)
+      servers::DiskModel disk = servers::DiskModel::kMemory,
+      naming::TeamConfig team = {})
       : dom(params),
         ws1(dom.add_host("ws1")),
         fs1(dom.add_host("fs1")),
         fs2(dom.add_host("fs2")),
-        alpha("alpha", disk),
-        beta("beta", disk, /*register_service=*/false),
-        prefixes("mann") {
+        alpha("alpha", disk, /*register_service=*/true, team),
+        beta("beta", disk, /*register_service=*/false, team),
+        prefixes("mann", /*register_service=*/true, team) {
     // Populate alpha.
     alpha.put_file("usr/mann/naming.mss", "Distributed name interpretation.");
     alpha.put_file("usr/mann/paper.mss", "ICDCS 1984.");
