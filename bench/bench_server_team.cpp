@@ -43,8 +43,9 @@ struct TeamResult {
   std::uint64_t sheds = 0;
 };
 
-TeamResult measure(std::size_t workers) {
+TeamResult measure(std::size_t workers, std::uint64_t seed) {
   ipc::Domain dom(ipc::CalibrationParams::SunWorkstation3Mbit());
+  if (seed != 0) dom.loop().enable_fuzz(seed);
   auto& ws1 = dom.add_host("ws1");
   auto& fs1 = dom.add_host("fs1");
 
@@ -122,8 +123,10 @@ TeamResult measure(std::size_t workers) {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::json_path_from_args(argc, argv);
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
   bench::headline("E7",
                   "Server teams: open latency vs worker count (8 clients)");
+  bench::run_info(seed, "SunWorkstation3Mbit");
   bench::note("workload: 1 bulk streamer + 7 open/close clients,");
   bench::note("local memory server + remote disk server via prefix server;");
   bench::note("both CSNH servers run the swept team size.");
@@ -132,7 +135,7 @@ int main(int argc, char** argv) {
   double p99_serial = 0;
   double p99_four = 0;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
-    const TeamResult r = measure(workers);
+    const TeamResult r = measure(workers, seed);
     if (r.samples == 0) return 1;
     char label[64];
     std::snprintf(label, sizeof(label), "workers=%zu  open p50", workers);

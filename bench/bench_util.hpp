@@ -6,7 +6,9 @@
 // non-zero if any simulated process died unexpectedly.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,6 +35,15 @@ class JsonReport {
   void set_headline(std::string id, std::string title) {
     sections_.push_back({std::move(id), std::move(title), {}, {}});
   }
+  /// Record the run parameters that make the numbers reproducible: the
+  /// schedule seed (0 = deterministic FIFO tie-break, nonzero = fuzzed
+  /// same-timestamp permutation) and the calibration preset the domain
+  /// was built from.
+  void set_run_info(std::uint64_t seed, std::string calibration) {
+    run_seed_ = seed;
+    run_calibration_ = std::move(calibration);
+    have_run_info_ = true;
+  }
   void add_row(const std::string& label, double measured_ms,
                double paper_ms) {
     if (sections_.empty()) sections_.push_back({"", "", {}, {}});
@@ -48,7 +59,16 @@ class JsonReport {
   bool write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"sections\": [\n");
+    std::fprintf(f, "{\n");
+    if (have_run_info_) {
+      std::fprintf(f,
+                   "  \"run\": {\"seed\": \"0x%llx\", \"schedule\": \"%s\", "
+                   "\"calibration\": \"%s\"},\n",
+                   static_cast<unsigned long long>(run_seed_),
+                   run_seed_ == 0 ? "fifo" : "fuzz",
+                   escape(run_calibration_).c_str());
+    }
+    std::fprintf(f, "  \"sections\": [\n");
     for (std::size_t s = 0; s < sections_.size(); ++s) {
       const Section& sec = sections_[s];
       std::fprintf(f, "    {\n      \"id\": \"%s\",\n      \"title\": \"%s\",\n",
@@ -104,6 +124,9 @@ class JsonReport {
   }
 
   std::vector<Section> sections_;
+  bool have_run_info_ = false;
+  std::uint64_t run_seed_ = 0;
+  std::string run_calibration_;
 };
 
 inline void headline(const std::string& id, const std::string& title) {
@@ -137,6 +160,27 @@ inline std::string json_path_from_args(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return {};
+}
+
+/// Parse `--seed <n>` (decimal or 0x-hex) from argv.  0 — the default —
+/// leaves the event loop in deterministic FIFO tie-break order; nonzero
+/// should be fed to `dom.loop().enable_fuzz(seed)` for a fuzzed schedule.
+inline std::uint64_t seed_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--seed") {
+      return std::strtoull(argv[i + 1], nullptr, 0);
+    }
+  }
+  return 0;
+}
+
+/// Print and record the run parameters (schedule seed + calibration
+/// preset) so every checked-in JSON report states how it was produced.
+inline void run_info(std::uint64_t seed, const std::string& calibration) {
+  std::printf("  schedule seed 0x%llx (%s), calibration %s\n",
+              static_cast<unsigned long long>(seed),
+              seed == 0 ? "fifo ties" : "fuzzed ties", calibration.c_str());
+  JsonReport::instance().set_run_info(seed, calibration);
 }
 
 /// Flush the JSON report if `--json` was given.  Returns the process exit

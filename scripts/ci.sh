@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Minimal CI: build + tier-1 tests, plain and under address/UB sanitizers.
+# CI pipeline: build + tier-1 tests, sanitizers, lint, schedule fuzz, and
+# the checks-compiled-out build.
 #
 #   scripts/ci.sh          # plain RelWithDebInfo build + ctest
 #   scripts/ci.sh asan     # Debug + -fsanitize=address,undefined + ctest
-#   scripts/ci.sh all      # both, plain first
+#   scripts/ci.sh lint     # clang-tidy over src/ (skips if not installed)
+#   scripts/ci.sh fuzz     # 16-seed deterministic schedule-fuzz sweep
+#   scripts/ci.sh chk-off  # V_CHECKS=OFF: tests pass, chk symbols absent,
+#                          # bench numbers bit-identical to the baseline
+#   scripts/ci.sh all      # everything, in the order above
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +22,56 @@ run_preset() {
   ctest --preset "${preset}" -j "$(nproc)"
 }
 
+run_lint() {
+  echo "==> lint (clang-tidy)"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping lint stage"
+    return 0
+  fi
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  # Headers are covered via HeaderFilterRegex in .clang-tidy.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet
+  echo "lint OK"
+}
+
+run_fuzz() {
+  echo "==> fuzz (16-seed schedule sweep)"
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target test_schedule_fuzz
+  # Failures print a one-command repro line (V_FUZZ_SEED=0x... ...).
+  V_FUZZ_SEEDS=16 ./build/tests/test_schedule_fuzz
+  echo "fuzz OK"
+}
+
+run_chk_off() {
+  echo "==> chk-off (V_CHECKS=OFF build)"
+  run_preset chk-off
+  echo "==> chk-off symbol check"
+  # Zero-cost-when-disabled means compiled OUT, not stubbed: no v::chk::
+  # symbol may survive in a linked test binary.
+  if nm -C build-chk-off/tests/test_integration | grep -q 'v::chk::'; then
+    echo "FAIL: v::chk:: symbols present in V_CHECKS=OFF binary" >&2
+    nm -C build-chk-off/tests/test_integration | grep 'v::chk::' | head >&2
+    exit 1
+  fi
+  echo "==> chk-off bench regression check"
+  # The sim is deterministic, so compiling the checks out must not change a
+  # single measured number: the report must be bit-identical to baseline.
+  ./build-chk-off/bench/bench_server_team --json /tmp/bench_chk_off.json \
+    >/dev/null
+  diff BENCH_server_team.json /tmp/bench_chk_off.json
+  echo "chk-off OK"
+}
+
 case "${1:-default}" in
   default) run_preset default ;;
   asan)    run_preset asan ;;
-  all)     run_preset default; run_preset asan ;;
-  *) echo "usage: $0 [default|asan|all]" >&2; exit 2 ;;
+  lint)    run_lint ;;
+  fuzz)    run_fuzz ;;
+  chk-off) run_chk_off ;;
+  all)     run_preset default; run_preset asan; run_lint; run_fuzz
+           run_chk_off ;;
+  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|all]" >&2; exit 2 ;;
 esac
 echo "CI OK"

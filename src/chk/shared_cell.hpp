@@ -1,0 +1,194 @@
+// V-check layer 1 (front end): annotation wrappers for shared server state.
+//
+// SharedCell<T> wraps a piece of state shared between cooperatively
+// scheduled sim processes (a server's instance table, a team's work queue,
+// a pipe buffer).  Access goes through read()/write() handles whose
+// AccessGuard registers the access in the cell's CellState for as long as
+// the handle lives.  A handle held across a suspension point therefore
+// overlaps any access another process makes in between — and a write
+// overlapping another process's outstanding read or write throws RaceError
+// naming both sim processes, the cell, and both sim timestamps.
+//
+// Momentary accesses (guard scoped to a statement, no co_await inside) are
+// the common case and can never conflict: the simulation is single-threaded
+// between yield points.  The detector's whole job is catching accesses
+// that — deliberately or by refactoring accident — span a suspension.
+//
+// Zero-cost when disabled: AccessGuard and the handles collapse to a bare
+// pointer wrapper; SharedCell<T> stores only the T.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "chk/ledger.hpp"
+#include "ipc/kernel.hpp"
+
+namespace v::chk {
+
+#if V_CHECKS_ENABLED
+
+/// Registers one read or write access for its lifetime; throws RaceError
+/// from the constructor when the access conflicts with an outstanding
+/// access by another sim process.
+class AccessGuard {
+ public:
+  enum class Mode { kRead, kWrite };
+
+  AccessGuard(const ipc::Process& self, CellState& cell, Mode mode)
+      : cell_(&cell), pid_(self.pid().raw), mode_(mode) {
+    const std::uint64_t now =
+        static_cast<std::uint64_t>(self.domain().loop().now());
+    const auto conflict = mode == Mode::kWrite ? cell.begin_write(pid_, now)
+                                               : cell.begin_read(pid_, now);
+    if (conflict) {
+      cell_ = nullptr;  // nothing registered; dtor must not unregister
+      throw RaceError(report(self, cell, mode, *conflict, now));
+    }
+  }
+
+  AccessGuard(const AccessGuard&) = delete;
+  AccessGuard& operator=(const AccessGuard&) = delete;
+
+  ~AccessGuard() {
+    if (cell_ == nullptr) return;
+    if (mode_ == Mode::kWrite) {
+      cell_->end_write(pid_);
+    } else {
+      cell_->end_read(pid_);
+    }
+  }
+
+ private:
+  static std::string report(const ipc::Process& self, const CellState& cell,
+                            Mode mode, const CellState::Conflict& other,
+                            std::uint64_t now) {
+    const ipc::Domain& dom = self.domain();
+    std::ostringstream out;
+    out << "race detector: " << (mode == Mode::kWrite ? "write" : "read")
+        << " of shared cell '" << cell.label() << "' by process '"
+        << dom.process_name(self.pid()) << "' (pid " << self.pid().raw
+        << ") at t=" << now << " overlaps outstanding "
+        << (other.writer ? "write" : "read") << " by process '"
+        << dom.process_name(ipc::ProcessId{other.pid}) << "' (pid "
+        << other.pid << ") held across a suspension point since t="
+        << other.since;
+    return out.str();
+  }
+
+  CellState* cell_;
+  std::uint32_t pid_;
+  Mode mode_;
+};
+
+/// Shared state annotated for the race detector.  Read/write handles pin
+/// an AccessGuard to the borrow's scope; hold one across a co_await to
+/// model "this process still depends on the cell here".
+template <typename T>
+class SharedCell {
+ public:
+  explicit SharedCell(std::string_view label) : state_(label) {}
+
+  class Reader {
+   public:
+    Reader(const ipc::Process& self, const SharedCell& cell)
+        : guard_(self, cell.state_, AccessGuard::Mode::kRead),
+          value_(&cell.value_) {}
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+    [[nodiscard]] const T& operator*() const noexcept { return *value_; }
+    [[nodiscard]] const T* operator->() const noexcept { return value_; }
+   private:
+    AccessGuard guard_;
+    const T* value_;
+  };
+
+  class Writer {
+   public:
+    Writer(const ipc::Process& self, SharedCell& cell)
+        : guard_(self, cell.state_, AccessGuard::Mode::kWrite),
+          value_(&cell.value_) {}
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+    [[nodiscard]] T& operator*() const noexcept { return *value_; }
+    [[nodiscard]] T* operator->() const noexcept { return value_; }
+   private:
+    AccessGuard guard_;
+    T* value_;
+  };
+
+  /// Borrow for reading as `self`; throws RaceError on conflict.
+  [[nodiscard]] Reader read(const ipc::Process& self) const {
+    return Reader(self, *this);
+  }
+  /// Borrow for writing as `self`; throws RaceError on conflict.
+  [[nodiscard]] Writer write(const ipc::Process& self) {
+    return Writer(self, *this);
+  }
+
+  /// Unchecked access, for code that runs outside any sim process (server
+  /// construction, post-run assertions in tests).
+  [[nodiscard]] T& raw() noexcept { return value_; }
+  [[nodiscard]] const T& raw() const noexcept { return value_; }
+
+ private:
+  mutable CellState state_;
+  T value_{};
+};
+
+#else  // !V_CHECKS_ENABLED — handles are bare pointers, no bookkeeping.
+
+class AccessGuard {
+ public:
+  enum class Mode { kRead, kWrite };
+  AccessGuard(const ipc::Process&, CellState&, Mode) noexcept {}
+  AccessGuard(const AccessGuard&) = delete;
+  AccessGuard& operator=(const AccessGuard&) = delete;
+};
+
+template <typename T>
+class SharedCell {
+ public:
+  explicit SharedCell(std::string_view) noexcept {}
+
+  class Reader {
+   public:
+    Reader(const ipc::Process&, const SharedCell& cell) noexcept
+        : value_(&cell.value_) {}
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+    [[nodiscard]] const T& operator*() const noexcept { return *value_; }
+    [[nodiscard]] const T* operator->() const noexcept { return value_; }
+   private:
+    const T* value_;
+  };
+
+  class Writer {
+   public:
+    Writer(const ipc::Process&, SharedCell& cell) noexcept
+        : value_(&cell.value_) {}
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+    [[nodiscard]] T& operator*() const noexcept { return *value_; }
+    [[nodiscard]] T* operator->() const noexcept { return value_; }
+   private:
+    T* value_;
+  };
+
+  [[nodiscard]] Reader read(const ipc::Process& self) const noexcept {
+    return Reader(self, *this);
+  }
+  [[nodiscard]] Writer write(const ipc::Process& self) noexcept {
+    return Writer(self, *this);
+  }
+  [[nodiscard]] T& raw() noexcept { return value_; }
+  [[nodiscard]] const T& raw() const noexcept { return value_; }
+
+ private:
+  T value_{};
+};
+
+#endif  // V_CHECKS_ENABLED
+
+}  // namespace v::chk

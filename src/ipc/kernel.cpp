@@ -97,7 +97,7 @@ sim::Co<Envelope> Process::receive() {
 
 void Process::reply(const msg::Message& reply_msg, ProcessId to) {
   ++domain_->stats_.replies_sent;
-  domain_->deliver_reply(host_id(), reply_msg, to);
+  domain_->deliver_reply(host_id(), reply_msg, to, pid_);
 }
 
 void Process::forward(const Envelope& env, ProcessId new_dest) {
@@ -394,6 +394,16 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
           if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
           return;
         }
+        // Protocol lint (V-check layer 2): validate the header invariants
+        // before the server ever sees the message.  Malformed requests are
+        // rejected here with a synthesized error reply, exactly as a
+        // conformant server would answer, plus a decoded dump for triage.
+        if (const auto reject = lint_.check_request(
+                env.request, env.sender.raw, env.segments.read.size(),
+                dest.raw, static_cast<std::uint64_t>(loop_.now()))) {
+          synth_reply(env.sender, *reject);
+          return;
+        }
         // Track where the blocked sender's request currently lives so crash
         // sweeps can find it (updated again on each forward delivery).
         if (auto* sender = find(env.sender); sender != nullptr) {
@@ -408,7 +418,11 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
 }
 
 void Domain::deliver_reply(HostId from_host, msg::Message reply,
-                           ProcessId to) {
+                           ProcessId to, ProcessId from) {
+  // Protocol lint: replies from registered server-team pids must carry a
+  // standard reply code.  Violations are recorded but still delivered.
+  lint_.check_reply(reply, from.raw, to.raw,
+                    static_cast<std::uint64_t>(loop_.now()));
   const bool local = to.local_to(from_host);
   loop_.schedule_after(params_.hop(local),
                        [this, reply, to] { complete_reply(to, reply); });
@@ -434,6 +448,7 @@ void Domain::complete_reply(ProcessId to, const msg::Message& reply) {
 void Domain::kill_process(detail::ProcessRecord& rec) {
   rec.alive = false;
   rec.mailbox.clear();
+  lint_.forget(rec.pid.raw);
   if (rec.fiber) {
     rec.fiber->kill();
     // Deliver the pending resume so the fiber can unwind.

@@ -29,6 +29,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chk/ledger.hpp"
+#include "chk/protocol_lint.hpp"
 #include "common/result.hpp"
 #include "ipc/calibration.hpp"
 #include "ipc/process_id.hpp"
@@ -307,6 +309,15 @@ class Domain {
     return first_failure_;
   }
 
+  /// V-check race-detector ledger (gate holders + shared-cell accesses).
+  /// A no-op shell when built with V_CHECKS=OFF.
+  [[nodiscard]] chk::Ledger& checks() noexcept { return checks_; }
+  /// V-check protocol conformance lint at the Send/Reply boundary.
+  [[nodiscard]] chk::ProtocolLint& lint() noexcept { return lint_; }
+  [[nodiscard]] const chk::ProtocolLint& lint() const noexcept {
+    return lint_;
+  }
+
  private:
   friend class Host;
   friend class Process;
@@ -323,8 +334,11 @@ class Domain {
   void deliver(HostId from_host, Envelope env, ProcessId dest,
                bool synth_on_dead);
 
-  /// Schedule a reply delivery to a blocked sender.
-  void deliver_reply(HostId from_host, msg::Message reply, ProcessId to);
+  /// Schedule a reply delivery to a blocked sender.  `from` identifies the
+  /// replying process for the protocol lint (invalid() for kernel-
+  /// synthesized replies, which are exempt from server-conformance checks).
+  void deliver_reply(HostId from_host, msg::Message reply, ProcessId to,
+                     ProcessId from);
 
   /// Synthesize a failure reply (kNoReply etc.) to a blocked sender, at a
   /// hop's delay.
@@ -346,6 +360,8 @@ class Domain {
   DomainStats stats_;
   std::size_t failures_ = 0;
   std::string first_failure_;
+  chk::Ledger checks_;
+  chk::ProtocolLint lint_;
 };
 
 }  // namespace v::ipc

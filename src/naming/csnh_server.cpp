@@ -1,6 +1,7 @@
 #include "naming/csnh_server.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
@@ -9,6 +10,11 @@
 #include "naming/parse.hpp"
 
 namespace v::naming {
+
+// The protocol lint cannot include naming/ (layering), so it mirrors the
+// name-length bound; keep the two constants locked together.
+static_assert(chk::kMaxCheckedNameLength == kMaxNameLength,
+              "chk::kMaxCheckedNameLength must mirror naming::kMaxNameLength");
 
 namespace {
 
@@ -70,9 +76,19 @@ class ContextDirectoryInstance : public io::BufferInstance {
 sim::Co<void> CsnhServer::run(ipc::Process self) {
   pid_ = self.pid();
   // Re-spawn safety (crash + restart reuses the server object): drop any
-  // backlog and gate state the previous incarnation left behind.
-  work_queue_.clear();
+  // backlog and gate state the previous incarnation left behind — in the
+  // race-detector ledger too (the previous incarnation's holders are
+  // meaningless).
+  work_queue_.raw().clear();
   gates_.clear();
+  if constexpr (chk::enabled()) {
+    self.domain().checks().forget_server(this);
+    self.domain().lint().register_server(
+        pid_.raw, self.domain().process_name(pid_),
+        [this](std::uint32_t ctx) {
+          return context_valid(translate_context(ctx));
+        });
+  }
   if (team_.workers == 0) team_.workers = 1;
   if (team_.queue_cap == 0) team_.queue_cap = 1;
   co_await on_start(self);
@@ -94,25 +110,38 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
                   });
   for (;;) {
     auto env = co_await self.receive();
-    if (work_queue_.size() >= team_.queue_cap) {
-      ++sheds_;
-      self.reply(msg::make_reply(ReplyCode::kBusy), env.sender);
-      continue;
+    {
+      auto queue = work_queue_.write(self);
+      if (queue->size() >= team_.queue_cap) {
+        ++sheds_;
+        self.reply(msg::make_reply(ReplyCode::kBusy), env.sender);
+        continue;
+      }
+      queue->push_back(std::move(env));
     }
-    work_queue_.push_back(std::move(env));
     work_ready_.notify_one(self.domain().loop());
   }
 }
 
 sim::Co<void> CsnhServer::worker_loop(ipc::Process self) {
+  if constexpr (chk::enabled()) {
+    self.domain().lint().register_worker(
+        self.pid().raw, self.domain().process_name(self.pid()));
+  }
   for (;;) {
-    while (work_queue_.empty()) {
+    while (work_queue_.read(self)->empty()) {
       co_await self.wait_on(work_ready_);
     }
-    ipc::Envelope env = std::move(work_queue_.front());
-    work_queue_.pop_front();
+    ipc::Envelope env = take_work(self);
     co_await dispatch(self, std::move(env));
   }
+}
+
+ipc::Envelope CsnhServer::take_work(ipc::Process& self) {
+  auto queue = work_queue_.write(self);
+  ipc::Envelope env = std::move(queue->front());
+  queue->pop_front();
+  return env;
 }
 
 // ---------------------------------------------------------------------------
@@ -136,11 +165,18 @@ bool CsnhServer::mutates_name(std::uint16_t code,
   }
 }
 
+void CsnhServer::GateLock::note_acquired() const {
+  domain_.checks().gate_acquired(
+      &server_, key_.first, key_.second, pid_.raw,
+      static_cast<std::uint64_t>(domain_.loop().now()));
+}
+
 bool CsnhServer::GateLock::await_ready() {
   Gate& gate = server_.gates_[key_];
   if (!gate.held) {
     gate.held = true;
     acquired_ = true;
+    note_acquired();
     return true;  // uncontended: acquire without suspending
   }
   return false;
@@ -174,9 +210,11 @@ CsnhServer::GateLock::~GateLock() {
     next->queued_ = false;
     next->acquired_ = true;  // ownership transfers even if killed: its
                              // resume throws and ITS destructor re-releases
-    loop_.schedule_after(0, [h = next->handle_] { h.resume(); });
+    next->note_acquired();   // ledger: holder changes hands, no gap
+    domain_.loop().schedule_after(0, [h = next->handle_] { h.resume(); });
     return;
   }
+  domain_.checks().gate_released(&server_, key_.first, key_.second);
   server_.gates_.erase(it);
 }
 
@@ -340,8 +378,8 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
   //    them one at a time, in FIFO grant order; read-only operations skip
   //    the gate and run fully parallel.  Held until co_return (the lock is
   //    released by ~GateLock when this frame unwinds, after the reply).
-  GateLock gate(*this, self.domain().loop(), self.fiber_state(),
-                GateKey{ctx, std::string(leaf)});
+  GateLock gate(*this, self.domain(), self.fiber_state(),
+                GateKey{ctx, std::string(leaf)}, self.pid());
   if (mutates_name(code, msg::cs::mode(env.request))) {
     co_await gate;
   }
@@ -510,14 +548,19 @@ sim::Co<msg::Message> CsnhServer::do_open(ipc::Process& self,
     object = std::make_unique<ContextDirectoryInstance>(
         ctx, std::move(snapshot),
         [this](ipc::Process& p, ContextId c, const ObjectDescriptor& d)
-            -> sim::Co<ReplyCode> { return modify(p, c, d.name, d); });
+            -> sim::Co<ReplyCode> { return gated_modify(p, c, d); });
   } else {
     auto opened = co_await open_object(self, ctx, leaf, mode);
     if (!opened.ok()) co_return msg::make_reply(opened.code());
     object = opened.take();
   }
   const io::InstanceInfo info = object->info();
-  const io::InstanceId id = instances_.add(std::move(object));
+  io::InstanceId id;
+  {
+    chk::AccessGuard guard(self, instances_cell_,
+                           chk::AccessGuard::Mode::kWrite);
+    id = instances_.add(std::move(object));
+  }
   Message reply = msg::make_reply(ReplyCode::kOk);
   reply.set_u16(io::kOffCreateInstance, id);
   reply.set_u32(io::kOffCreateSize, info.size_bytes);
@@ -527,6 +570,42 @@ sim::Co<msg::Message> CsnhServer::do_open(ipc::Process& self,
   reply.set_u32(io::kOffCreateContextId, ctx);
   co_return reply;
 }
+
+sim::Co<ReplyCode> CsnhServer::gated_modify(ipc::Process& self, ContextId ctx,
+                                            ObjectDescriptor desc) {
+  // "Writing a description record has the same effect as invoking the
+  // modification operation on the named object" (section 5.6) — so it must
+  // take the same (ctx, leaf) gate the direct kModifyName path takes.
+  GateLock gate(*this, self.domain(), self.fiber_state(),
+                GateKey{ctx, desc.name}, self.pid());
+  co_await gate;
+  co_return co_await modify(self, ctx, desc.name, desc);
+}
+
+#if V_CHECKS_ENABLED
+void CsnhServer::note_name_write_impl(ipc::Process& self, ContextId ctx,
+                                      std::string_view leaf) {
+  ipc::Domain& dom = self.domain();
+  const auto violation =
+      dom.checks().check_gated_write(this, ctx, leaf, self.pid().raw);
+  if (!violation) return;
+  std::ostringstream out;
+  out << "race detector: ungated (ctx,leaf) mutation on server '"
+      << dom.process_name(pid_) << "': process '"
+      << dom.process_name(self.pid()) << "' (pid " << self.pid().raw
+      << ") mutated (" << ctx << ", \"" << leaf << "\") at t="
+      << dom.loop().now();
+  if (violation->holder_pid != 0) {
+    out << " while process '"
+        << dom.process_name(ipc::ProcessId{violation->holder_pid})
+        << "' (pid " << violation->holder_pid
+        << ") has held the mutation gate since t=" << violation->holder_since;
+  } else {
+    out << " without any process holding the mutation gate";
+  }
+  throw chk::RaceError(out.str());
+}
+#endif  // V_CHECKS_ENABLED
 
 sim::Co<msg::Message> CsnhServer::do_inverse_name(ipc::Process& self,
                                                   ipc::Envelope& env,
@@ -554,8 +633,14 @@ sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
       static_cast<io::InstanceId>(env.request.u16(io::kOffInstance));
   // Hold a shared reference across the co_awaits below: a concurrent team
   // worker may Release this id mid-operation (the table entry goes away;
-  // the object must not).
-  std::shared_ptr<io::InstanceObject> object = instances_.find(id);
+  // the object must not).  The table itself is only borrowed momentarily —
+  // the AccessGuard would flag a lookup held across a suspension point.
+  std::shared_ptr<io::InstanceObject> object;
+  {
+    chk::AccessGuard guard(self, instances_cell_,
+                           chk::AccessGuard::Mode::kRead);
+    object = instances_.find(id);
+  }
   switch (env.request.code()) {
     case RequestCode::kQueryInstance: {
       if (object == nullptr) {
@@ -630,7 +715,12 @@ sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
       co_return reply;
     }
     case RequestCode::kReleaseInstance: {
-      const bool released = instances_.release(self, id);
+      bool released = false;
+      {
+        chk::AccessGuard guard(self, instances_cell_,
+                               chk::AccessGuard::Mode::kWrite);
+        released = instances_.release(self, id);
+      }
       co_return msg::make_reply(released ? ReplyCode::kOk
                                          : ReplyCode::kInvalidInstance);
     }

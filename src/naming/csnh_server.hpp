@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "chk/ledger.hpp"
+#include "chk/shared_cell.hpp"
 #include "common/result.hpp"
 #include "io/instance.hpp"
 #include "ipc/kernel.hpp"
@@ -89,7 +91,7 @@ class CsnhServer {
   [[nodiscard]] std::uint64_t shed_count() const noexcept { return sheds_; }
   /// Requests accepted but not yet picked up by a worker.
   [[nodiscard]] std::size_t queue_depth() const noexcept {
-    return work_queue_.size();
+    return work_queue_.raw().size();
   }
 
  protected:
@@ -253,6 +255,22 @@ class CsnhServer {
   /// Open instance table (subclass open_object results land here too).
   [[nodiscard]] io::InstanceTable& instances() noexcept { return instances_; }
 
+  /// Race-detector annotation (V-check layer 1): every hook body that
+  /// mutates the name space under (ctx, leaf) calls this first.  Verifies
+  /// the calling process holds the matching (ctx, leaf) mutation gate and
+  /// throws chk::RaceError naming both processes when it does not.
+  /// Compiles to nothing with V_CHECKS=OFF.
+  void note_name_write(ipc::Process& self, ContextId ctx,
+                       std::string_view leaf) {
+#if V_CHECKS_ENABLED
+    note_name_write_impl(self, ctx, leaf);
+#else
+    (void)self;
+    (void)ctx;
+    (void)leaf;
+#endif
+  }
+
  private:
   /// One worker process: pull envelopes from the team queue, dispatch.
   sim::Co<void> worker_loop(ipc::Process self);
@@ -275,12 +293,15 @@ class CsnhServer {
   /// acquires (immediately when free); destruction releases and grants the
   /// next waiter.  Kill-safe: a waiter resumed after its fiber was killed
   /// throws FiberKilled; a waiter destroyed while still queued (fiber
-  /// unwound without resume) unlinks itself.
+  /// unwound without resume) unlinks itself.  Every acquisition (including
+  /// FIFO handoff) and the final release are mirrored into the domain's
+  /// race-detector ledger, keyed on (&server, ctx, leaf).
   struct GateLock {
-    GateLock(CsnhServer& server, sim::EventLoop& loop,
-             std::shared_ptr<sim::FiberState> fiber, GateKey key) noexcept
-        : server_(server), loop_(loop), fiber_(std::move(fiber)),
-          key_(std::move(key)) {}
+    GateLock(CsnhServer& server, ipc::Domain& domain,
+             std::shared_ptr<sim::FiberState> fiber, GateKey key,
+             ipc::ProcessId pid) noexcept
+        : server_(server), domain_(domain), fiber_(std::move(fiber)),
+          key_(std::move(key)), pid_(pid) {}
     GateLock(const GateLock&) = delete;
     GateLock& operator=(const GateLock&) = delete;
     ~GateLock();
@@ -289,10 +310,14 @@ class CsnhServer {
     void await_suspend(std::coroutine_handle<> h);
     void await_resume() const;
 
+    /// Record this lock's process as the gate holder in the ledger.
+    void note_acquired() const;
+
     CsnhServer& server_;
-    sim::EventLoop& loop_;
+    ipc::Domain& domain_;
     std::shared_ptr<sim::FiberState> fiber_;
     GateKey key_;
+    ipc::ProcessId pid_;
     std::coroutine_handle<> handle_ = nullptr;
     bool acquired_ = false;  ///< we own the gate (must release)
     bool queued_ = false;    ///< we sit in the waiters deque
@@ -305,6 +330,19 @@ class CsnhServer {
 
   sim::Co<void> dispatch(ipc::Process& self, ipc::Envelope env);
   sim::Co<void> handle_csname(ipc::Process& self, ipc::Envelope& env);
+  /// Apply one context-directory record write: acquire the (ctx, leaf)
+  /// mutation gate, then invoke modify().  Directory writes arrive on the
+  /// instance-op path, which holds no gate of its own — without this a
+  /// directory-file write would mutate an entry a concurrent team worker
+  /// holds the gate for.
+  sim::Co<ReplyCode> gated_modify(ipc::Process& self, ContextId ctx,
+                                  ObjectDescriptor desc);
+  /// Pop the front work-queue envelope (called with the queue non-empty;
+  /// no suspension between the caller's emptiness check and this pop).
+  ipc::Envelope take_work(ipc::Process& self);
+  /// Out-of-line body of note_name_write (built only with V_CHECKS=ON).
+  void note_name_write_impl(ipc::Process& self, ContextId ctx,
+                            std::string_view leaf);
   sim::Co<msg::Message> do_open(ipc::Process& self, ipc::Envelope& env,
                                 ContextId ctx, std::string_view leaf,
                                 std::uint16_t mode);
@@ -327,11 +365,18 @@ class CsnhServer {
   static bool defines_leaf(std::uint16_t code) noexcept;
 
   io::InstanceTable instances_;
+  /// Race-detector cell for instances_: table accesses register here so an
+  /// access held across a suspension point is caught (handlers that need
+  /// the object across co_awaits hold a shared_ptr instead, by design).
+  chk::CellState instances_cell_{"server.instances"};
   ipc::ProcessId pid_;
 
   // --- team state ------------------------------------------------------------
   TeamConfig team_;
-  std::deque<ipc::Envelope> work_queue_;  ///< accepted, awaiting a worker
+  /// Accepted envelopes awaiting a worker.  SharedCell: receptionist and
+  /// workers borrow it momentarily; holding a borrow across a suspension
+  /// point is a race the detector reports.
+  chk::SharedCell<std::deque<ipc::Envelope>> work_queue_{"team.work_queue"};
   sim::WaitQueue work_ready_;             ///< idle workers park here
   std::uint64_t sheds_ = 0;
   std::map<GateKey, Gate> gates_;

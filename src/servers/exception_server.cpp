@@ -59,7 +59,11 @@ sim::Co<msg::Message> ExceptionServer::handle_custom(ipc::Process& self,
   const std::string name = "exc." + std::to_string(report.id);
   msg::Message reply = msg::make_reply(ReplyCode::kOk);
   reply.set_u16(kOffExcReportId, report.id);
-  reports_.emplace(name, std::move(report));
+  {
+    chk::AccessGuard guard(self, reports_cell_,
+                           chk::AccessGuard::Mode::kWrite);
+    reports_.emplace(name, std::move(report));
+  }
   co_return reply;
 }
 
@@ -102,9 +106,10 @@ sim::Co<Result<naming::ObjectDescriptor>> ExceptionServer::describe(
   co_return describe_report(it->first, it->second);
 }
 
-sim::Co<ReplyCode> ExceptionServer::remove(ipc::Process& /*self*/,
-                                           naming::ContextId /*ctx*/,
+sim::Co<ReplyCode> ExceptionServer::remove(ipc::Process& self,
+                                           naming::ContextId ctx,
                                            std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = reports_.find(leaf);
   if (it == reports_.end()) co_return ReplyCode::kNotFound;
   reports_.erase(it);  // dismissed

@@ -78,6 +78,9 @@ class ExceptionServer : public naming::CsnhServer {
 
   bool register_service_;
   std::map<std::string, Report, std::less<>> reports_;
+  /// kRaiseException mutates reports_ from handle_custom, outside any
+  /// (ctx,leaf) gate; annotate the write for the race detector instead.
+  chk::CellState reports_cell_{"exception.reports"};
   std::uint16_t next_id_ = 1;
 };
 

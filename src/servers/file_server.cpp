@@ -379,6 +379,7 @@ sim::Co<ReplyCode> FileServer::modify(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf,
                                       const naming::ObjectDescriptor& desc) {
+  note_name_write(self, ctx, leaf);
   auto* dir = find_inode(static_cast<InodeId>(ctx));
   if (dir == nullptr) co_return ReplyCode::kInvalidContext;
   Inode* entry = leaf.empty() ? dir : child(*dir, leaf);
@@ -394,9 +395,10 @@ sim::Co<ReplyCode> FileServer::modify(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
-sim::Co<ReplyCode> FileServer::remove(ipc::Process& /*self*/,
+sim::Co<ReplyCode> FileServer::remove(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto* dir = find_inode(static_cast<InodeId>(ctx));
   if (dir == nullptr) co_return ReplyCode::kInvalidContext;
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
@@ -417,6 +419,7 @@ sim::Co<ReplyCode> FileServer::rename(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf,
                                       std::string_view new_leaf) {
+  note_name_write(self, ctx, leaf);
   auto* dir = find_inode(static_cast<InodeId>(ctx));
   if (dir == nullptr) co_return ReplyCode::kInvalidContext;
   if (leaf.empty() || new_leaf.empty()) co_return ReplyCode::kBadArgs;
@@ -437,6 +440,7 @@ sim::Co<ReplyCode> FileServer::create_object(ipc::Process& self,
                                              naming::ContextId ctx,
                                              std::string_view leaf,
                                              std::uint16_t /*mode*/) {
+  note_name_write(self, ctx, leaf);
   auto* dir = find_inode(static_cast<InodeId>(ctx));
   if (dir == nullptr) co_return ReplyCode::kInvalidContext;
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
@@ -451,6 +455,7 @@ sim::Co<ReplyCode> FileServer::create_object(ipc::Process& self,
 sim::Co<ReplyCode> FileServer::make_context(ipc::Process& self,
                                             naming::ContextId ctx,
                                             std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto* dir = find_inode(static_cast<InodeId>(ctx));
   if (dir == nullptr) co_return ReplyCode::kInvalidContext;
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
@@ -466,6 +471,7 @@ sim::Co<ReplyCode> FileServer::link_context(ipc::Process& self,
                                             naming::ContextId ctx,
                                             std::string_view leaf,
                                             naming::ContextPair target) {
+  note_name_write(self, ctx, leaf);
   auto* dir = find_inode(static_cast<InodeId>(ctx));
   if (dir == nullptr) co_return ReplyCode::kInvalidContext;
   if (leaf.empty() || !target.valid()) co_return ReplyCode::kBadArgs;

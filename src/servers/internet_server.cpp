@@ -128,9 +128,10 @@ sim::Co<Result<naming::ObjectDescriptor>> InternetServer::describe(
 }
 
 sim::Co<ReplyCode> InternetServer::create_object(ipc::Process& self,
-                                                 naming::ContextId /*ctx*/,
+                                                 naming::ContextId ctx,
                                                  std::string_view leaf,
                                                  std::uint16_t /*mode*/) {
+  note_name_write(self, ctx, leaf);
   if (!valid_endpoint(leaf)) co_return ReplyCode::kBadArgs;
   if (connections_.contains(leaf)) co_return ReplyCode::kNameExists;
   // Connection establishment costs one peer round trip.
@@ -143,9 +144,10 @@ sim::Co<ReplyCode> InternetServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
-sim::Co<ReplyCode> InternetServer::remove(ipc::Process& /*self*/,
-                                          naming::ContextId /*ctx*/,
+sim::Co<ReplyCode> InternetServer::remove(ipc::Process& self,
+                                          naming::ContextId ctx,
                                           std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = connections_.find(leaf);
   if (it == connections_.end()) co_return ReplyCode::kNotFound;
   connections_.erase(it);

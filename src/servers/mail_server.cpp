@@ -128,9 +128,10 @@ sim::Co<Result<naming::ObjectDescriptor>> MailServer::describe(
 }
 
 sim::Co<ReplyCode> MailServer::create_object(ipc::Process& self,
-                                             naming::ContextId /*ctx*/,
+                                             naming::ContextId ctx,
                                              std::string_view leaf,
                                              std::uint16_t /*mode*/) {
+  note_name_write(self, ctx, leaf);
   if (!valid_mailbox_name(leaf)) co_return ReplyCode::kBadArgs;
   if (mailboxes_.contains(leaf)) co_return ReplyCode::kNameExists;
   Mailbox box;
@@ -140,9 +141,10 @@ sim::Co<ReplyCode> MailServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
-sim::Co<ReplyCode> MailServer::remove(ipc::Process& /*self*/,
-                                      naming::ContextId /*ctx*/,
+sim::Co<ReplyCode> MailServer::remove(ipc::Process& self,
+                                      naming::ContextId ctx,
                                       std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = mailboxes_.find(leaf);
   if (it == mailboxes_.end()) co_return ReplyCode::kNotFound;
   mailboxes_.erase(it);

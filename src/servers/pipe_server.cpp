@@ -129,9 +129,10 @@ sim::Co<Result<naming::ObjectDescriptor>> PipeServer::describe(
 }
 
 sim::Co<ReplyCode> PipeServer::create_object(ipc::Process& self,
-                                             naming::ContextId /*ctx*/,
+                                             naming::ContextId ctx,
                                              std::string_view leaf,
                                              std::uint16_t /*mode*/) {
+  note_name_write(self, ctx, leaf);
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
   if (pipes_.contains(leaf)) co_return ReplyCode::kNameExists;
   Pipe pipe;
@@ -141,9 +142,10 @@ sim::Co<ReplyCode> PipeServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
-sim::Co<ReplyCode> PipeServer::remove(ipc::Process& /*self*/,
-                                      naming::ContextId /*ctx*/,
+sim::Co<ReplyCode> PipeServer::remove(ipc::Process& self,
+                                      naming::ContextId ctx,
                                       std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = pipes_.find(leaf);
   if (it == pipes_.end()) co_return ReplyCode::kNotFound;
   if (it->second.writer_ends > 0 || it->second.reader_ends > 0 ||
@@ -209,15 +211,21 @@ sim::Co<void> PipeServer::serve_read(ipc::Process& self,
   // second read can be serviced while this one is mid-transfer, and both
   // must ship distinct chunks of the stream.
   ServiceScope busy(pipe.in_service);
-  std::vector<std::byte> out(pipe.buffer.begin(),
-                             pipe.buffer.begin() +
-                                 static_cast<std::ptrdiff_t>(n));
-  pipe.buffer.erase(pipe.buffer.begin(),
-                    pipe.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<std::byte> out;
+  {
+    chk::AccessGuard guard(self, pipe_buffers_cell_,
+                           chk::AccessGuard::Mode::kWrite);
+    out.assign(pipe.buffer.begin(),
+               pipe.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    pipe.buffer.erase(pipe.buffer.begin(),
+                      pipe.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  }
   auto moved = co_await self.move_to(env.sender, out);
   if (!moved.ok()) {
     // Reader vanished mid-transfer: restore the unclaimed bytes at the
     // front so the stream position is preserved for the next reader.
+    chk::AccessGuard guard(self, pipe_buffers_cell_,
+                           chk::AccessGuard::Mode::kWrite);
     pipe.buffer.insert(pipe.buffer.begin(), out.begin(), out.end());
     co_return;
   }
@@ -289,7 +297,11 @@ sim::Co<std::optional<msg::Message>> PipeServer::handle_instance_op(
         // A concurrent writer filled the pipe while we were fetching.
         co_return msg::make_reply(ReplyCode::kNoServerResources);
       }
-      pipe.buffer.insert(pipe.buffer.end(), data.begin(), data.end());
+      {
+        chk::AccessGuard guard(self, pipe_buffers_cell_,
+                               chk::AccessGuard::Mode::kWrite);
+        pipe.buffer.insert(pipe.buffer.end(), data.begin(), data.end());
+      }
       msg::Message reply = msg::make_reply(ReplyCode::kOk);
       reply.set_u16(io::kOffXferCount, count);
       self.reply(reply, env.sender);

@@ -81,6 +81,10 @@ class PipeServer : public naming::CsnhServer {
   std::size_t capacity_bytes_;
   std::map<std::string, Pipe, std::less<>> pipes_;
   std::uint32_t next_id_ = 1;
+  /// Pipe buffers are mutated by concurrently suspended team workers; every
+  /// mutation must be momentary (claim-then-suspend), which the race
+  /// detector enforces through this cell.
+  chk::CellState pipe_buffers_cell_{"pipe.buffers"};
 };
 
 }  // namespace v::servers

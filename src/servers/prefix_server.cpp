@@ -77,9 +77,10 @@ sim::Co<naming::CsnhServer::LookupResult> ContextPrefixServer::lookup(
 }
 
 sim::Co<ReplyCode> ContextPrefixServer::add_context_name(
-    ipc::Process& /*self*/, naming::ContextId /*ctx*/, std::string_view leaf,
+    ipc::Process& self, naming::ContextId ctx, std::string_view leaf,
     naming::ContextPair target, ipc::ServiceId logical_service,
     ipc::GroupId group) {
+  note_name_write(self, ctx, leaf);
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
   Entry entry;
   if (group != 0) {
@@ -98,8 +99,8 @@ sim::Co<ReplyCode> ContextPrefixServer::add_context_name(
 }
 
 sim::Co<ReplyCode> ContextPrefixServer::delete_context_name(
-    ipc::Process& /*self*/, naming::ContextId /*ctx*/,
-    std::string_view leaf) {
+    ipc::Process& self, naming::ContextId ctx, std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = table_.find(leaf);
   if (it == table_.end()) co_return ReplyCode::kNotFound;
   table_.erase(it);
@@ -144,8 +145,9 @@ sim::Co<Result<naming::ObjectDescriptor>> ContextPrefixServer::describe(
 }
 
 sim::Co<ReplyCode> ContextPrefixServer::modify(
-    ipc::Process& /*self*/, naming::ContextId /*ctx*/, std::string_view leaf,
+    ipc::Process& self, naming::ContextId ctx, std::string_view leaf,
     const naming::ObjectDescriptor& desc) {
+  note_name_write(self, ctx, leaf);
   // Context-directory writes can retarget ordinary prefixes; all other
   // fields are fabricated and ignored.
   auto it = table_.find(leaf.empty() ? std::string_view(desc.name) : leaf);

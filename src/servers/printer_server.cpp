@@ -128,9 +128,10 @@ sim::Co<Result<naming::ObjectDescriptor>> PrinterServer::describe(
 }
 
 sim::Co<ReplyCode> PrinterServer::create_object(ipc::Process& self,
-                                                naming::ContextId /*ctx*/,
+                                                naming::ContextId ctx,
                                                 std::string_view leaf,
                                                 std::uint16_t /*mode*/) {
+  note_name_write(self, ctx, leaf);
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
   if (jobs_.contains(leaf)) co_return ReplyCode::kNameExists;
   Job job;
@@ -141,8 +142,9 @@ sim::Co<ReplyCode> PrinterServer::create_object(ipc::Process& self,
 }
 
 sim::Co<ReplyCode> PrinterServer::remove(ipc::Process& self,
-                                         naming::ContextId /*ctx*/,
+                                         naming::ContextId ctx,
                                          std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = jobs_.find(leaf);
   if (it == jobs_.end()) co_return ReplyCode::kNotFound;
   if (derive_status(it->second, self.now()) == JobStatus::kPrinting) {

@@ -85,7 +85,11 @@ sim::Co<msg::Message> TeamServer::do_load(ipc::Process& self,
   msg::Message reply = msg::make_reply(ReplyCode::kOk);
   reply.set_u16(kOffLoadProgramId, program.id);
   reply.set_u32(kOffLoadBytes, program.bytes);
-  programs_.emplace(instance_name, program);
+  {
+    chk::AccessGuard guard(self, programs_cell_,
+                           chk::AccessGuard::Mode::kWrite);
+    programs_.emplace(instance_name, program);
+  }
   co_return reply;
 }
 
@@ -124,9 +128,10 @@ sim::Co<Result<naming::ObjectDescriptor>> TeamServer::describe(
   co_return describe_program(it->first, it->second);
 }
 
-sim::Co<ReplyCode> TeamServer::remove(ipc::Process& /*self*/,
-                                      naming::ContextId /*ctx*/,
+sim::Co<ReplyCode> TeamServer::remove(ipc::Process& self,
+                                      naming::ContextId ctx,
                                       std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = programs_.find(leaf);
   if (it == programs_.end()) co_return ReplyCode::kNotFound;
   programs_.erase(it);  // "kill"

@@ -73,6 +73,9 @@ class TeamServer : public naming::CsnhServer {
   naming::ContextPair default_context_;
   bool register_service_;
   std::map<std::string, Program, std::less<>> programs_;
+  /// do_load mutates programs_ from handle_custom, outside any (ctx,leaf)
+  /// gate; annotate the write for the race detector instead.
+  chk::CellState programs_cell_{"team.programs"};
   std::uint16_t next_id_ = 1;
   std::optional<svc::Rt> rt_;  ///< lazily attached workstation runtime
 };

@@ -112,9 +112,10 @@ sim::Co<Result<naming::ObjectDescriptor>> TerminalServer::describe(
 }
 
 sim::Co<ReplyCode> TerminalServer::create_object(ipc::Process& self,
-                                                 naming::ContextId /*ctx*/,
+                                                 naming::ContextId ctx,
                                                  std::string_view leaf,
                                                  std::uint16_t /*mode*/) {
+  note_name_write(self, ctx, leaf);
   if (leaf.empty()) co_return ReplyCode::kBadArgs;
   if (terminals_.contains(leaf)) co_return ReplyCode::kNameExists;
   Terminal t;
@@ -124,9 +125,10 @@ sim::Co<ReplyCode> TerminalServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
-sim::Co<ReplyCode> TerminalServer::remove(ipc::Process& /*self*/,
-                                          naming::ContextId /*ctx*/,
+sim::Co<ReplyCode> TerminalServer::remove(ipc::Process& self,
+                                          naming::ContextId ctx,
                                           std::string_view leaf) {
+  note_name_write(self, ctx, leaf);
   auto it = terminals_.find(leaf);
   if (it == terminals_.end()) co_return ReplyCode::kNotFound;
   terminals_.erase(it);

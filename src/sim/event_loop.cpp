@@ -4,9 +4,28 @@
 
 namespace v::sim {
 
+namespace {
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mix.  Used to turn
+/// (fuzz seed, sequence number) into a tie key so simultaneous events fire
+/// in a seed-determined permutation of their scheduling order.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t EventLoop::tie_key(std::uint64_t seq) const noexcept {
+  return fuzz_ ? mix64(fuzz_seed_ ^ mix64(seq)) : seq;
+}
+
 void EventLoop::schedule_at(SimTime at, Action action) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(action)});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{at, tie_key(seq), seq, std::move(action)});
 }
 
 bool EventLoop::step() {

@@ -3,8 +3,19 @@
 // Every state change in the simulated V domain happens inside an event.
 // Events at equal times fire in scheduling order (a monotone sequence number
 // breaks ties), so runs are fully deterministic for a given seed.
+//
+// Schedule-fuzz mode (enable_fuzz): same-timestamp ties are instead broken
+// by a seeded hash of the sequence number, deterministically permuting the
+// firing order of simultaneous events.  The scheduling-order tie rule is an
+// implementation convenience, not a documented guarantee — correct sim code
+// must not depend on which of two same-time events fires first (FIFO
+// fairness is provided where it matters by WaitQueue and the server gate
+// queues, which order waiters themselves).  The fuzzer explores exactly
+// this freedom: same seed, same schedule; a failing seed reproduces the
+// interleaving in one command.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -13,6 +24,15 @@
 #include "sim/time.hpp"
 
 namespace v::sim {
+
+/// Counters the loop keeps about its own operation (beyond events_executed).
+struct EventLoopStats {
+  /// Times schedule_after was handed a negative delay and clamped it to 0.
+  /// Always a bug in the caller (simulated time cannot run backwards);
+  /// debug builds assert, release builds count so fuzz sweeps can flag
+  /// time-travel bugs that only surface under permuted schedules.
+  std::uint64_t negative_delay_clamps = 0;
+};
 
 /// Discrete-event scheduler.  Not thread-safe; the whole simulation is
 /// single-threaded by design (determinism is a feature, see DESIGN.md).
@@ -26,9 +46,16 @@ class EventLoop {
   /// Schedule `action` to run at absolute time `at` (clamped to now()).
   void schedule_at(SimTime at, Action action);
 
-  /// Schedule `action` to run `delay` from now (negative delays clamp to 0).
+  /// Schedule `action` to run `delay` from now.  Negative delays are a
+  /// caller bug: debug builds assert, all builds clamp to 0 and count the
+  /// occurrence in stats().
   void schedule_after(SimDuration delay, Action action) {
-    schedule_at(now_ + (delay > 0 ? delay : 0), std::move(action));
+    if (delay < 0) {
+      ++stats_.negative_delay_clamps;
+      assert(!"negative delay passed to EventLoop::schedule_after");
+      delay = 0;
+    }
+    schedule_at(now_ + delay, std::move(action));
   }
 
   /// Run one event.  Returns false when the queue is empty.
@@ -49,22 +76,42 @@ class EventLoop {
   /// Number of events currently pending.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  [[nodiscard]] const EventLoopStats& stats() const noexcept { return stats_; }
+
+  /// Enter schedule-fuzz mode: break same-timestamp ties by a hash of
+  /// (seed, seq) instead of scheduling order.  Fully deterministic for a
+  /// given seed.  Call before scheduling anything; events already queued
+  /// keep their FIFO tie keys.
+  void enable_fuzz(std::uint64_t seed) noexcept {
+    fuzz_ = true;
+    fuzz_seed_ = seed;
+  }
+  [[nodiscard]] bool fuzz_enabled() const noexcept { return fuzz_; }
+  [[nodiscard]] std::uint64_t fuzz_seed() const noexcept { return fuzz_seed_; }
+
  private:
   struct Event {
     SimTime at;
+    std::uint64_t tie;  ///< seq normally; seeded hash of seq under fuzz
     std::uint64_t seq;
     Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] std::uint64_t tie_key(std::uint64_t seq) const noexcept;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  bool fuzz_ = false;
+  std::uint64_t fuzz_seed_ = 0;
+  EventLoopStats stats_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

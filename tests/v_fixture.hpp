@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "ipc/kernel.hpp"
 #include "naming/types.hpp"
@@ -24,11 +26,15 @@
 namespace v::test {
 
 struct VFixture {
+  /// `fuzz_seed` != nullopt puts the event loop in schedule-fuzz mode
+  /// before anything is spawned: same-timestamp events fire in a
+  /// seed-determined permutation instead of scheduling order.
   explicit VFixture(
       ipc::CalibrationParams params =
           ipc::CalibrationParams::SunWorkstation3Mbit(),
       servers::DiskModel disk = servers::DiskModel::kMemory,
-      naming::TeamConfig team = {})
+      naming::TeamConfig team = {},
+      std::optional<std::uint64_t> fuzz_seed = std::nullopt)
       : dom(params),
         ws1(dom.add_host("ws1")),
         fs1(dom.add_host("fs1")),
@@ -36,6 +42,7 @@ struct VFixture {
         alpha("alpha", disk, /*register_service=*/true, team),
         beta("beta", disk, /*register_service=*/false, team),
         prefixes("mann", /*register_service=*/true, team) {
+    if (fuzz_seed) dom.loop().enable_fuzz(*fuzz_seed);
     // Populate alpha.
     alpha.put_file("usr/mann/naming.mss", "Distributed name interpretation.");
     alpha.put_file("usr/mann/paper.mss", "ICDCS 1984.");
@@ -87,10 +94,20 @@ struct VFixture {
       client_finished = true;
     });
     dom.run();
-    EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+    check_clean();
     // A hung client (e.g. a request that was silently dropped) must fail
     // the test rather than pass vacuously.
     EXPECT_TRUE(client_finished) << "client parked forever";
+  }
+
+  /// Post-run health checks shared by every test that drives the fixture:
+  /// no fiber failures (race reports arrive this way), no non-conformant
+  /// server replies, no negative-delay clamps.
+  void check_clean() {
+    EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+    EXPECT_EQ(dom.lint().counters().server_violations, 0u)
+        << dom.lint().first_dump();
+    EXPECT_EQ(dom.loop().stats().negative_delay_clamps, 0u);
   }
 
   ipc::Domain dom;
