@@ -10,13 +10,19 @@ using namespace v;
 using sim::Co;
 using sim::to_ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const std::string metrics_path = bench::flag_value(argc, argv, "--metrics");
+  const std::string trace_path = bench::flag_value(argc, argv, "--trace");
   bench::headline("E6 / Fig.4",
                   "cross-server name interpretation: forwarding vs client "
                   "iteration");
 
   constexpr int kMaxHops = 6;
   ipc::Domain dom;
+  // V-trace: spans carry simulated time only, so tracing the run cannot
+  // change any measured number.  (No-op shell with V_TRACE=OFF.)
+  if (!trace_path.empty()) dom.tracer().enable();
   auto& ws = dom.add_host("ws1");
   // A chain of file servers, each holding a link to the next.
   std::vector<std::unique_ptr<servers::FileServer>> chain;
@@ -99,5 +105,19 @@ int main() {
   bench::note("re-sends the remaining name each time, so the gap widens");
   bench::note("with chain length — the protocol's forwarding rule is the");
   bench::note("right default (paper section 5.4).");
-  return 0;
+#if V_TRACE_ENABLED
+  if (!trace_path.empty()) {
+    if (!dom.tracer().write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "BENCH FAILURE: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("  trace written to %s (%llu traces, %zu spans)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(dom.tracer().trace_count()),
+                dom.tracer().spans().size());
+  }
+#endif
+  if (!bench::write_metrics(dom, metrics_path)) return 1;
+  return bench::finish(json_path);
 }

@@ -162,6 +162,34 @@ inline std::string json_path_from_args(int argc, char** argv) {
   return {};
 }
 
+/// Parse a `--<flag> <value>` option from argv ("" when absent), e.g.
+/// flag_value(argc, argv, "--metrics") or "--trace".
+inline std::string flag_value(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Write the domain's metrics-registry snapshot (same numbers a `[metrics]`
+/// Read serves) to `path`; "" skips.  Kept separate from `--json` so the
+/// checked-in bench reports stay byte-identical whether or not a metrics
+/// dump was requested.  With V_TRACE=OFF the registry shell serialises as
+/// "{}".  Returns false on I/O failure.
+inline bool write_metrics(const ipc::Domain& dom, const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH FAILURE: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = dom.metrics().to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("  metrics snapshot written to %s\n", path.c_str());
+  return true;
+}
+
 /// Parse `--seed <n>` (decimal or 0x-hex) from argv.  0 — the default —
 /// leaves the event loop in deterministic FIFO tie-break order; nonzero
 /// should be fed to `dom.loop().enable_fuzz(seed)` for a fuzzed schedule.

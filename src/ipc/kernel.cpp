@@ -1,5 +1,6 @@
 #include "ipc/kernel.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -43,7 +44,20 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
   ++rec.send_seq;
   ++domain_->stats_.messages_sent;
   if (!dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  domain_->deliver(host_id(), Envelope{pid_, request, segments}, dest);
+  Envelope env{pid_, request, segments, {}};
+#if V_TRACE_ENABLED
+  if (auto& tr = domain_->tracer(); tr.active()) {
+    env.trace.trace_id = tr.begin_trace();
+    const std::uint32_t root =
+        tr.begin_span(env.trace.trace_id, 0,
+                      "send " + obs::opcode_label(request.code()), "send",
+                      pid_.raw, domain_->now());
+    tr.set_process_label(pid_.raw, rec.name);
+    tr.note_send(pid_.raw, root);
+    env.trace.parent_span = root;
+  }
+#endif
+  domain_->deliver(host_id(), std::move(env), dest);
   co_await sim::ParkAwaiter(rec.reply_waker, fiber_state());
   co_return rec.reply;
 }
@@ -58,12 +72,25 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
   rec.exposed = segments;
   const auto seq = ++rec.send_seq;
 
+  Envelope proto{pid_, request, segments, {}};
+#if V_TRACE_ENABLED
+  if (auto& tr = domain_->tracer(); tr.active()) {
+    proto.trace.trace_id = tr.begin_trace();
+    const std::uint32_t root =
+        tr.begin_span(proto.trace.trace_id, 0,
+                      "send-group " + obs::opcode_label(request.code()),
+                      "send", pid_.raw, domain_->now());
+    tr.set_process_label(pid_.raw, rec.name);
+    tr.note_send(pid_.raw, root);
+    proto.trace.parent_span = root;
+  }
+#endif
   std::size_t delivered = 0;
   auto it = domain_->groups_.find(group);
   if (it != domain_->groups_.end()) {
     for (ProcessId member : it->second) {
       if (member == pid_ || !domain_->process_alive(member)) continue;
-      domain_->deliver(host_id(), Envelope{pid_, request, segments}, member,
+      domain_->deliver(host_id(), proto, member,
                        /*synth_on_dead=*/false);
       ++delivered;
     }
@@ -105,8 +132,8 @@ void Process::forward(const Envelope& env, ProcessId new_dest) {
   ++domain_->stats_.forwards;
   ++domain_->stats_.messages_sent;
   if (!new_dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  domain_->deliver(host_id(),
-                   Envelope{env.sender, env.request, env.segments}, new_dest);
+  Envelope fwd{env.sender, env.request, env.segments, env.trace};
+  domain_->deliver(host_id(), std::move(fwd), new_dest);
 }
 
 void Process::forward_to_group(const Envelope& env, GroupId group) {
@@ -116,8 +143,8 @@ void Process::forward_to_group(const Envelope& env, GroupId group) {
   if (it != domain_->groups_.end()) {
     for (ProcessId member : it->second) {
       if (!domain_->process_alive(member)) continue;
-      domain_->deliver(host_id(),
-                       Envelope{env.sender, env.request, env.segments},
+      Envelope fwd{env.sender, env.request, env.segments, env.trace};
+      domain_->deliver(host_id(), std::move(fwd),
                        member, /*synth_on_dead=*/false);
       ++domain_->stats_.messages_sent;
       if (!member.local_to(host_id())) ++domain_->stats_.remote_messages;
@@ -255,6 +282,9 @@ ProcessId Host::spawn(std::string name,
       }
     }
   });
+  // Stamp the fiber with its pid so the ambient context (VLOG prefixes,
+  // event-loop profiling) can attribute work to the simulated process.
+  rec.fiber->state()->pid = rec.pid.raw;
   auto* recp = &rec;
   domain_.loop().schedule_after(0, [recp] {
     if (recp->alive && recp->fiber) recp->fiber->start();
@@ -327,6 +357,44 @@ Domain::Domain(CalibrationParams params, std::uint64_t seed)
   // micro-benchmarks) don't pay for a big empty bucket array.
   records_.reserve(64);
   by_pid_.reserve(64);
+#if V_TRACE_ENABLED
+  // Mirror the kernel's own counters into the metrics registry as callback
+  // entries, so one snapshot (JSON or a [metrics] Read) covers everything.
+  // DomainStats stays the source of truth — existing accessors unchanged.
+  auto mirror = [this](const char* scope, const char* name,
+                       const std::uint64_t* field) {
+    metrics_.register_callback(scope, name, [field] {
+      return static_cast<double>(*field);
+    });
+  };
+  mirror("ipc", "messages_sent", &stats_.messages_sent);
+  mirror("ipc", "replies_sent", &stats_.replies_sent);
+  mirror("ipc", "forwards", &stats_.forwards);
+  mirror("ipc", "remote_messages", &stats_.remote_messages);
+  mirror("ipc", "moves", &stats_.moves);
+  mirror("ipc", "bytes_moved", &stats_.bytes_moved);
+  const auto& lc = lint_.counters();
+  mirror("lint", "requests_checked", &lc.requests_checked);
+  mirror("lint", "replies_checked", &lc.replies_checked);
+  mirror("lint", "client_rejects", &lc.client_rejects);
+  mirror("lint", "server_violations", &lc.server_violations);
+  mirror("lint", "stale_context_forwards", &lc.stale_context_forwards);
+  mirror("lint", "invalid_context_requests", &lc.invalid_context_requests);
+  metrics_.register_callback("loop", "events_executed", [this] {
+    return static_cast<double>(loop_.events_executed());
+  });
+  metrics_.register_callback("loop", "sim_time_ms", [this] {
+    return static_cast<double>(loop_.now()) / 1e6;
+  });
+  metrics_.register_callback("loop", "wall_ns", [this] {
+    return static_cast<double>(loop_.stats().wall_ns);
+  });
+  metrics_.register_callback("loop", "wall_vs_sim", [this] {
+    return loop_.wall_vs_sim();
+  });
+  mirror("loop", "negative_delay_clamps",
+         &loop_.stats().negative_delay_clamps);
+#endif
 }
 
 Domain::~Domain() = default;
@@ -388,7 +456,8 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
                      bool synth_on_dead) {
   const bool local = dest.local_to(from_host);
   loop_.schedule_after(
-      params_.hop(local), [this, env = std::move(env), dest, synth_on_dead] {
+      params_.hop(local),
+      [this, env = std::move(env), dest, synth_on_dead]() mutable {
         auto* rec = find(dest);
         if (rec == nullptr || !rec->alive) {
           if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
@@ -409,6 +478,11 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
         if (auto* sender = find(env.sender); sender != nullptr) {
           sender->blocked_on = dest;
         }
+#if V_TRACE_ENABLED
+        // Queue-wait measurement starts the moment the message lands in the
+        // receiver's mailbox (the hop delay itself is not queue time).
+        if (env.trace.trace_id != 0) env.trace.enqueued_at = loop_.now();
+#endif
         rec->mailbox.push_back(std::move(env));
         if (rec->waiting_receive && rec->recv_waker.armed()) {
           rec->waiting_receive = false;
@@ -442,8 +516,36 @@ void Domain::complete_reply(ProcessId to, const msg::Message& reply) {
   rec->awaiting_reply = false;
   rec->blocked_on = ProcessId::invalid();
   rec->reply = reply;
+#if V_TRACE_ENABLED
+  // One outstanding Send per process, so the sender pid keys the open root
+  // span; closing it here covers Reply, Forward chains and synthesized
+  // replies alike.
+  tracer_.end_send(to.raw, static_cast<std::uint16_t>(reply.code()),
+                   loop_.now());
+#endif
   if (rec->reply_waker.armed()) rec->reply_waker.wake(loop_);
 }
+
+#if V_TRACE_ENABLED
+std::vector<Domain::FiberHotspot> Domain::top_fibers(std::size_t k) const {
+  std::vector<FiberHotspot> rows;
+  rows.reserve(records_.size());
+  for (const auto& rec : records_) {
+    if (!rec->fiber) continue;
+    const auto state = rec->fiber->state();
+    if (!state) continue;
+    rows.push_back(FiberHotspot{rec->name, rec->pid.raw, state->dispatches,
+                                state->wall_ns});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FiberHotspot& a, const FiberHotspot& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              return a.dispatches > b.dispatches;
+            });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+#endif
 
 void Domain::kill_process(detail::ProcessRecord& rec) {
   rec.alive = false;

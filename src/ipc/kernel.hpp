@@ -32,6 +32,8 @@
 #include "chk/ledger.hpp"
 #include "chk/protocol_lint.hpp"
 #include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ipc/calibration.hpp"
 #include "ipc/process_id.hpp"
 #include "msg/message.hpp"
@@ -62,6 +64,9 @@ struct Envelope {
   ProcessId sender;      ///< who is blocked awaiting the reply
   msg::Message request;  ///< 32-byte request (mutable before Forward)
   Segments segments;     ///< the sender's exposed memory
+  /// V-trace state, propagated by Send/Forward (NOT paper wire format —
+  /// a simulation extra, PROTOCOL.md §10).  Empty with V_TRACE=OFF.
+  obs::TraceContext trace;
 };
 
 namespace detail {
@@ -318,6 +323,32 @@ class Domain {
     return lint_;
   }
 
+  /// V-trace resolution-trace sink (inactive until tracer().enable()).
+  /// An inert shell when built with V_TRACE=OFF.
+  [[nodiscard]] obs::TraceSink& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::TraceSink& tracer() const noexcept {
+    return tracer_;
+  }
+  /// V-trace metrics registry.  The DomainStats fields, event-loop stats
+  /// and protocol-lint counters are mirrored in as "ipc/...", "loop/..."
+  /// and "lint/..." callback entries; servers register their own scopes.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+#if V_TRACE_ENABLED
+  /// One row of the event-loop profile: host CPU attributed to a fiber.
+  struct FiberHotspot {
+    std::string name;
+    std::uint32_t pid = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t wall_ns = 0;
+  };
+  /// The k fibers that burned the most host CPU, descending.
+  [[nodiscard]] std::vector<FiberHotspot> top_fibers(std::size_t k) const;
+#endif
+
  private:
   friend class Host;
   friend class Process;
@@ -362,6 +393,8 @@ class Domain {
   std::string first_failure_;
   chk::Ledger checks_;
   chk::ProtocolLint lint_;
+  obs::TraceSink tracer_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace v::ipc

@@ -67,6 +67,62 @@ class ContextDirectoryInstance : public io::BufferInstance {
                                    const ObjectDescriptor&)> apply_;
 };
 
+#if V_TRACE_ENABLED
+/// RAII hop span (V-trace): opened when a server dispatches a traced
+/// request, with a queue-wait child covering mailbox-arrival → dispatch
+/// (ended immediately) and a service child ended when the dispatch frame
+/// unwinds — i.e. after the reply or forward.  Construction re-parents the
+/// envelope, so a forwarded request hangs its next hop under this one.
+class HopTrace {
+ public:
+  HopTrace(ipc::Domain& domain, obs::TraceSink& sink, ipc::Envelope& env,
+           ipc::ProcessId server_pid, ipc::ProcessId worker_pid)
+      : domain_(domain), sink_(sink) {
+    const std::uint64_t trace = env.trace.trace_id;
+    const sim::SimTime now = domain_.now();
+    const sim::SimTime arrived =
+        env.trace.enqueued_at >= 0 ? env.trace.enqueued_at : now;
+    const std::string server = domain_.process_name(server_pid);
+    hop_ = sink_.begin_span(trace, env.trace.parent_span, "hop " + server,
+                            "hop", worker_pid.raw, arrived);
+    sink_.set_process_label(server_pid.raw, server);
+    sink_.annotate(hop_, "op", obs::opcode_label(env.request.code()));
+    if (msg::is_csname_request(env.request.code())) {
+      sink_.annotate(hop_, "context_id",
+                     std::to_string(msg::cs::context_id(env.request)));
+      sink_.annotate(hop_, "name_index",
+                     std::to_string(msg::cs::name_index(env.request)));
+      sink_.annotate(hop_, "forward_count",
+                     std::to_string(msg::cs::forward_count(env.request)));
+    }
+    if (worker_pid != server_pid) {
+      sink_.annotate(hop_, "worker", domain_.process_name(worker_pid));
+      sink_.set_process_label(worker_pid.raw,
+                              domain_.process_name(worker_pid));
+    }
+    const std::uint32_t queue = sink_.begin_span(
+        trace, hop_, "queue-wait", "queue", worker_pid.raw, arrived);
+    sink_.end_span(queue, now);
+    service_ = sink_.begin_span(trace, hop_, "service", "service",
+                                worker_pid.raw, now);
+    env.trace.parent_span = hop_;
+  }
+  HopTrace(const HopTrace&) = delete;
+  HopTrace& operator=(const HopTrace&) = delete;
+  ~HopTrace() {
+    const sim::SimTime now = domain_.now();
+    sink_.end_span(service_, now);
+    sink_.end_span(hop_, now);
+  }
+
+ private:
+  ipc::Domain& domain_;
+  obs::TraceSink& sink_;
+  std::uint32_t hop_ = 0;
+  std::uint32_t service_ = 0;
+};
+#endif  // V_TRACE_ENABLED
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -75,6 +131,7 @@ class ContextDirectoryInstance : public io::BufferInstance {
 
 sim::Co<void> CsnhServer::run(ipc::Process self) {
   pid_ = self.pid();
+  metrics_scope_ = self.domain().process_name(pid_);
   // Re-spawn safety (crash + restart reuses the server object): drop any
   // backlog and gate state the previous incarnation left behind — in the
   // race-detector ledger too (the previous incarnation's holders are
@@ -114,10 +171,25 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
       auto queue = work_queue_.write(self);
       if (queue->size() >= team_.queue_cap) {
         ++sheds_;
+        metric_inc(self, "sheds");
+#if V_TRACE_ENABLED
+        // The traced request dies here: an instant mark keeps the shed
+        // visible in the hop tree (the root span closes with kBusy).
+        if (auto& tr = self.domain().tracer();
+            tr.active() && env.trace.trace_id != 0) {
+          const auto t = self.domain().now();
+          const std::uint32_t mark =
+              tr.begin_span(env.trace.trace_id, env.trace.parent_span,
+                            "shed " + metrics_scope_, "mark", pid_.raw, t);
+          tr.end_span(mark, t);
+        }
+#endif
         self.reply(msg::make_reply(ReplyCode::kBusy), env.sender);
         continue;
       }
       queue->push_back(std::move(env));
+      metric_gauge(self, "queue_depth",
+                   static_cast<std::int64_t>(queue->size()));
     }
     work_ready_.notify_one(self.domain().loop());
   }
@@ -211,7 +283,10 @@ CsnhServer::GateLock::~GateLock() {
     next->acquired_ = true;  // ownership transfers even if killed: its
                              // resume throws and ITS destructor re-releases
     next->note_acquired();   // ledger: holder changes hands, no gap
-    domain_.loop().schedule_after(0, [h = next->handle_] { h.resume(); });
+    domain_.loop().schedule_after(0, [h = next->handle_, f = next->fiber_] {
+      sim::FiberRunScope scope(f.get());
+      h.resume();
+    });
     return;
   }
   domain_.checks().gate_released(&server_, key_.first, key_.second);
@@ -220,6 +295,15 @@ CsnhServer::GateLock::~GateLock() {
 
 sim::Co<void> CsnhServer::dispatch(ipc::Process& self, ipc::Envelope env) {
   const std::uint16_t code = env.request.code();
+  metric_inc(self, "requests");
+#if V_TRACE_ENABLED
+  metric_inc(self, "req." + obs::opcode_label(code));
+  std::optional<HopTrace> hop;
+  if (auto& tr = self.domain().tracer();
+      tr.active() && env.trace.trace_id != 0) {
+    hop.emplace(self.domain(), tr, env, pid_, self.pid());
+  }
+#endif
   if (msg::is_csname_request(code)) {
     co_await handle_csname(self, env);
     co_return;
@@ -346,6 +430,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
       msg::cs::set_forward_count(env.request,
                                  static_cast<std::uint8_t>(hops + 1));
       msg::cs::set_name_index(env.request, static_cast<std::uint16_t>(next));
+      metric_inc(self, "forwarded");
       if (found.kind == LookupResult::Kind::kGroupContext) {
         // Section 7: the context is implemented by a group of servers; the
         // request is multicast and the first member to answer wins.
@@ -372,6 +457,11 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
     self.reply(msg::make_reply(why), env.sender);
     co_return;
   }
+
+  // Interpretation terminated at this server: record how many Forward hops
+  // the request took to get here (0 = answered by the first server).
+  metric_hist(self, "hops",
+              static_cast<double>(msg::cs::forward_count(env.request)));
 
   // 5. Dispatch the operation against (ctx, leaf).  Mutating operations
   //    first acquire the (ctx, leaf) gate so concurrent team workers apply
@@ -831,6 +921,43 @@ sim::Co<msg::Message> CsnhServer::handle_custom_csname(ipc::Process&,
 sim::Co<msg::Message> CsnhServer::handle_custom(ipc::Process&,
                                                 ipc::Envelope&) {
   co_return msg::make_reply(ReplyCode::kIllegalRequest);
+}
+
+// ---------------------------------------------------------------------------
+// V-trace metric helpers
+// ---------------------------------------------------------------------------
+
+void CsnhServer::metric_inc(ipc::Process& self, std::string_view name,
+                            std::uint64_t n) {
+#if V_TRACE_ENABLED
+  self.domain().metrics().counter(metrics_scope_, name).inc(n);
+#else
+  (void)self;
+  (void)name;
+  (void)n;
+#endif
+}
+
+void CsnhServer::metric_gauge(ipc::Process& self, std::string_view name,
+                              std::int64_t value) {
+#if V_TRACE_ENABLED
+  self.domain().metrics().gauge(metrics_scope_, name).set(value);
+#else
+  (void)self;
+  (void)name;
+  (void)value;
+#endif
+}
+
+void CsnhServer::metric_hist(ipc::Process& self, std::string_view name,
+                             double value) {
+#if V_TRACE_ENABLED
+  self.domain().metrics().histogram(metrics_scope_, name).add(value);
+#else
+  (void)self;
+  (void)name;
+  (void)value;
+#endif
 }
 
 }  // namespace v::naming

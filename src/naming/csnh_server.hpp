@@ -271,6 +271,15 @@ class CsnhServer {
 #endif
   }
 
+  /// V-trace metric helpers: count/measure under this server's registry
+  /// scope (its process name).  Declared unconditionally so subclasses call
+  /// them unguarded; the bodies compile to nothing with V_TRACE=OFF.
+  void metric_inc(ipc::Process& self, std::string_view name,
+                  std::uint64_t n = 1);
+  void metric_gauge(ipc::Process& self, std::string_view name,
+                    std::int64_t value);
+  void metric_hist(ipc::Process& self, std::string_view name, double value);
+
  private:
   /// One worker process: pull envelopes from the team queue, dispatch.
   sim::Co<void> worker_loop(ipc::Process self);
@@ -380,6 +389,7 @@ class CsnhServer {
   sim::WaitQueue work_ready_;             ///< idle workers park here
   std::uint64_t sheds_ = 0;
   std::map<GateKey, Gate> gates_;
+  std::string metrics_scope_;  ///< registry scope = process name (set in run)
 };
 
 }  // namespace v::naming

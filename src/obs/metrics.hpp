@@ -1,0 +1,153 @@
+// V-trace domain metrics registry.
+//
+// One counting substrate for the whole simulation: counters, gauges and
+// histograms keyed (scope, name), where scope is a server's process name
+// ("alpha-fs") or a subsystem ("ipc", "loop", "lint", "client").  The
+// kernel's DomainStats fields, the protocol-lint violation counts and the
+// event-loop stats are mirrored in as callback entries, so one read path
+// covers everything.
+//
+// Two export paths:
+//   * to_json() — snapshot for benches (`--metrics <path>` in bench_util);
+//   * the MetricsServer (src/servers/metrics_server.hpp), which mounts the
+//     registry as a `[metrics]` context — the paper's own context-directory
+//     mechanism (section 5.6) turned on the system itself, so a client can
+//     Open/Read "[metrics]fileserver/requests" like any file.
+//
+// With V_TRACE=OFF the registry is an inline empty shell: the query surface
+// stays (so the MetricsServer compiles and serves an empty context), but no
+// registration/update entry point exists — update sites are compiled out
+// under #if V_TRACE_ENABLED and no v::obs:: symbol survives.
+#pragma once
+
+#ifndef V_TRACE_ENABLED
+#define V_TRACE_ENABLED 1
+#endif
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if V_TRACE_ENABLED
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/stats.hpp"
+#endif
+
+namespace v::obs {
+
+#if V_TRACE_ENABLED
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level; remembers its high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::int64_t high_water() const noexcept {
+    return high_water_;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t high_water_ = 0;
+};
+
+/// Sample distribution (count/mean/percentiles via sim::Accumulator).
+class Histogram {
+ public:
+  void add(double v) { acc_.add(v); }
+  [[nodiscard]] const sim::Accumulator& data() const noexcept { return acc_; }
+
+ private:
+  sim::Accumulator acc_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create.  References stay valid for the registry's lifetime,
+  /// so hot paths can cache them.
+  Counter& counter(std::string_view scope, std::string_view name);
+  Gauge& gauge(std::string_view scope, std::string_view name);
+  Histogram& histogram(std::string_view scope, std::string_view name);
+
+  /// Register a live read-through entry (mirrors external counters such as
+  /// DomainStats fields without moving their storage).
+  void register_callback(std::string_view scope, std::string_view name,
+                         std::function<double()> read);
+
+  /// Scopes in first-registration order (stable within a run; the
+  /// MetricsServer derives context ids from this order).
+  [[nodiscard]] const std::vector<std::string>& scopes() const noexcept {
+    return scope_order_;
+  }
+  /// Metric names within a scope, sorted.
+  [[nodiscard]] std::vector<std::string> names(std::string_view scope) const;
+  /// Current value rendered as one text line ("42\n"; histograms render
+  /// their summary stats).  nullopt when (scope, name) is unknown.
+  [[nodiscard]] std::optional<std::string> value_text(
+      std::string_view scope, std::string_view name) const;
+
+  /// Whole registry as a JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Metric {
+    enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+    Kind kind = Kind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+    std::function<double()> callback;
+  };
+  using ScopeMap = std::map<std::string, Metric, std::less<>>;
+
+  Metric& entry(std::string_view scope, std::string_view name,
+                Metric::Kind kind);
+  static std::string render(const Metric& metric);
+
+  // std::map: node stability backs the returned references.
+  std::map<std::string, ScopeMap, std::less<>> scopes_;
+  std::vector<std::string> scope_order_;
+};
+
+#else  // !V_TRACE_ENABLED
+
+/// Query-only shell: the MetricsServer serves an empty registry; all update
+/// sites are compiled out under #if V_TRACE_ENABLED.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] const std::vector<std::string>& scopes() const noexcept {
+    return empty_;
+  }
+  [[nodiscard]] std::vector<std::string> names(std::string_view) const {
+    return {};
+  }
+  [[nodiscard]] std::optional<std::string> value_text(std::string_view,
+                                                      std::string_view) const {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string to_json() const { return "{}\n"; }
+
+ private:
+  std::vector<std::string> empty_;
+};
+
+#endif  // V_TRACE_ENABLED
+
+}  // namespace v::obs

@@ -1,0 +1,150 @@
+// V-trace resolution tracing (observability layer).
+//
+// The paper's central mechanism — a CSname request wandering server to
+// server via Forward until someone answers — is exactly the behavior that
+// is invisible in aggregate counters.  V-trace records the path: the kernel
+// opens a root span when a traced process Sends, every CSNH server opens a
+// hop span (split into queue-wait and service segments) when it dispatches
+// the request, and forwarding re-parents the next hop under the current
+// one, so a completed request yields a causally-ordered hop tree.
+//
+// Spans carry SIMULATED time only and recording never consumes simulated
+// time, so enabling a TraceSink cannot change a single measured number —
+// the same guarantee V-check made, enforced by the same CI gate (bench
+// reports bit-identical with V_TRACE=OFF).
+//
+// Exports: Chrome trace-event JSON (load trace.json in Perfetto / about:
+// tracing; `ts`/`dur` are simulated microseconds) and an indented text
+// rendering for terminals and tests.
+//
+// Build flag: V_TRACE (default ON).  With V_TRACE=OFF this header provides
+// empty shells, every call site is compiled out, and CI proves no v::obs::
+// symbol survives in linked binaries.
+#pragma once
+
+#ifndef V_TRACE_ENABLED
+#define V_TRACE_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+#if V_TRACE_ENABLED
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+#endif
+
+namespace v::obs {
+
+/// True when the build carries the obs tooling; usable in `if constexpr`.
+constexpr bool enabled() noexcept { return V_TRACE_ENABLED != 0; }
+
+#if V_TRACE_ENABLED
+
+/// Human label for a request code (standard protocol codes only; unknown
+/// codes render as "op-0x####").
+std::string opcode_label(std::uint16_t code);
+
+/// Trace state carried inside ipc::Envelope and propagated by Send /
+/// Forward / forward_to_group.  NOT part of the paper's 32-byte wire
+/// format — a simulation extra, documented as such in PROTOCOL.md §10.
+struct TraceContext {
+  std::uint64_t trace_id = 0;    ///< 0 = request is not being traced
+  std::uint32_t parent_span = 0; ///< span the next hop hangs under
+  sim::SimTime enqueued_at = -1; ///< kernel delivery time (queue-wait start)
+};
+
+/// One node of the hop tree.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint32_t id = 0;      ///< 1-based; also index+1 into TraceSink::spans
+  std::uint32_t parent = 0;  ///< 0 = root
+  sim::SimTime start = 0;
+  sim::SimTime end = -1;     ///< -1 while still open
+  std::string name;          ///< e.g. "send open", "hop alpha-fs", "queue"
+  std::string category;      ///< "send" | "hop" | "queue" | "service" | "mark"
+  std::uint32_t pid = 0;     ///< process the span is attributed to
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Per-Domain span collector.  Inert until enable(); all times are
+/// simulated, so collection never perturbs the run.
+class TraceSink {
+ public:
+  void enable() noexcept { active_ = true; }
+  void disable() noexcept { active_ = false; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Allocate a fresh trace id (one per traced Send).
+  std::uint64_t begin_trace() { return next_trace_++; }
+
+  std::uint32_t begin_span(std::uint64_t trace_id, std::uint32_t parent,
+                           std::string name, std::string category,
+                           std::uint32_t pid, sim::SimTime start);
+  void end_span(std::uint32_t id, sim::SimTime end);
+  void annotate(std::uint32_t id, std::string key, std::string value);
+
+  /// Remember a display label for a pid (Chrome thread_name metadata).
+  void set_process_label(std::uint32_t pid, std::string_view label);
+
+  // Root-span bookkeeping for kernel sends.  A V process has exactly one
+  // outstanding Send, so the open root span is keyed by the sender's pid.
+  void note_send(std::uint32_t sender_pid, std::uint32_t span_id);
+  [[nodiscard]] std::uint32_t open_send(std::uint32_t sender_pid) const;
+  /// Close the sender's root span (no-op when it has none open).
+  void end_send(std::uint32_t sender_pid, std::uint16_t reply_code,
+                sim::SimTime now);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const Span* find(std::uint32_t id) const noexcept {
+    return id >= 1 && id <= spans_.size() ? &spans_[id - 1] : nullptr;
+  }
+  [[nodiscard]] std::uint64_t trace_count() const noexcept {
+    return next_trace_ - 1;
+  }
+
+  /// Indented text rendering of one trace's hop tree.
+  [[nodiscard]] std::string render_text(std::uint64_t trace_id) const;
+  /// All traces as one Chrome trace-event JSON document.
+  [[nodiscard]] std::string chrome_json() const;
+  /// Write chrome_json() to `path`.  Returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] Span* find_mut(std::uint32_t id) noexcept {
+    return id >= 1 && id <= spans_.size() ? &spans_[id - 1] : nullptr;
+  }
+
+  bool active_ = false;
+  std::uint64_t next_trace_ = 1;
+  std::vector<Span> spans_;
+  std::unordered_map<std::uint32_t, std::uint32_t> open_sends_;
+  std::unordered_map<std::uint32_t, std::string> process_labels_;
+};
+
+#else  // !V_TRACE_ENABLED
+
+// Compiled-out shells: the envelope field costs nothing and the sink
+// answers "inactive" so any remaining `if (tracer.active())` guard folds
+// away.  Recording calls must sit under `#if V_TRACE_ENABLED` at the call
+// site; the shells deliberately do not provide them.
+struct TraceContext {};
+
+class TraceSink {
+ public:
+  void enable() noexcept {}
+  void disable() noexcept {}
+  [[nodiscard]] bool active() const noexcept { return false; }
+};
+
+#endif  // V_TRACE_ENABLED
+
+}  // namespace v::obs

@@ -64,6 +64,7 @@ sim::Co<msg::Message> ExceptionServer::handle_custom(ipc::Process& self,
                            chk::AccessGuard::Mode::kWrite);
     reports_.emplace(name, std::move(report));
   }
+  metric_inc(self, "exceptions_raised");
   co_return reply;
 }
 

@@ -81,6 +81,7 @@ class FileInstance : public io::InstanceObject {
     const std::size_t n =
         std::min({out.size(), block_bytes, node->data.size() - offset});
     std::memcpy(out.data(), node->data.data() + offset, n);
+    server_.metric_inc(self, "bytes_read", n);
     co_return n;
   }
 
@@ -107,6 +108,7 @@ class FileInstance : public io::InstanceObject {
       std::memcpy(node->data.data() + offset, data.data(), data.size());
     }
     node->mtime = sim_seconds(self);
+    server_.metric_inc(self, "bytes_written", data.size());
     co_return data.size();
   }
 

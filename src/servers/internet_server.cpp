@@ -141,6 +141,7 @@ sim::Co<ReplyCode> InternetServer::create_object(ipc::Process& self,
   conn.id = next_id_++;
   conn.opened = static_cast<std::uint32_t>(self.now() / sim::kSecond);
   connections_.emplace(std::string(leaf), std::move(conn));
+  metric_inc(self, "connections_opened");
   co_return ReplyCode::kOk;
 }
 

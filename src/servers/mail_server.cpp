@@ -47,12 +47,13 @@ class MailboxInstance : public io::InstanceObject {
   }
 
   sim::Co<Result<std::size_t>> write_block(
-      ipc::Process& /*self*/, std::uint32_t /*block*/,
+      ipc::Process& self, std::uint32_t /*block*/,
       std::span<const std::byte> data) override {
     auto it = server_.mailboxes_.find(name_);
     if (it == server_.mailboxes_.end()) co_return ReplyCode::kBadState;
     it->second.messages.emplace_back(
         reinterpret_cast<const char*>(data.data()), data.size());
+    server_.metric_inc(self, "deliveries");
     co_return data.size();
   }
 

@@ -60,6 +60,7 @@ sim::Co<naming::CsnhServer::LookupResult> ContextPrefixServer::lookup(
     ipc::Process& self, naming::ContextId /*ctx*/,
     std::string_view component) {
   auto it = table_.find(component);
+  metric_inc(self, it != table_.end() ? "prefix_hits" : "prefix_misses");
   if (it == table_.end()) co_return LookupResult::missing();
   const Entry& entry = it->second;
   if (entry.group != 0) {

@@ -39,6 +39,7 @@ class PrintJobInstance : public io::InstanceObject {
     job.data.insert(job.data.end(), data.begin(), data.end());
     job.submitted = self.now();
     server_.schedule_job(job, self.now());
+    server_.metric_inc(self, "spooled_bytes", data.size());
     co_return data.size();
   }
 

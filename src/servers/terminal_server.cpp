@@ -41,13 +41,14 @@ class TerminalInstance : public io::InstanceObject {
   }
 
   sim::Co<Result<std::size_t>> write_block(
-      ipc::Process& /*self*/, std::uint32_t /*block*/,
+      ipc::Process& self, std::uint32_t /*block*/,
       std::span<const std::byte> data) override {
     auto it = server_.terminals_.find(name_);
     if (it == server_.terminals_.end()) co_return ReplyCode::kBadState;
     // Streams append regardless of the block number.
     it->second.transcript.insert(it->second.transcript.end(), data.begin(),
                                  data.end());
+    server_.metric_inc(self, "chars_written", data.size());
     co_return data.size();
   }
 

@@ -15,6 +15,10 @@ sim::Co<void> time_server(ipc::Process self) {
     msg::Message reply = msg::make_reply(ReplyCode::kOk);
     reply.set_u32(kOffTimeSeconds,
                   static_cast<std::uint32_t>(self.now() / sim::kSecond));
+#if V_TRACE_ENABLED
+    // Not a CsnhServer, so no metric_inc helper: count directly.
+    self.domain().metrics().counter("timeserver", "queries").inc();
+#endif
     self.reply(reply, env.sender);
   }
 }

@@ -24,7 +24,10 @@ class DelayAwaiter {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    loop_.schedule_after(delay_, [h] { h.resume(); });
+    loop_.schedule_after(delay_, [h, f = fiber_] {
+      FiberRunScope scope(f.get());
+      h.resume();
+    });
   }
   void await_resume() const {
     if (fiber_ && fiber_->killed) throw FiberKilled{};
@@ -51,14 +54,20 @@ class Waker {
   void wake(EventLoop& loop) {
     V_CHECK(handle_ != nullptr);
     auto h = std::exchange(handle_, nullptr);
-    loop.schedule_after(0, [h] { h.resume(); });
+    loop.schedule_after(0, [h, f = fiber_] {
+      FiberRunScope scope(f.get());
+      h.resume();
+    });
   }
 
   /// Resume the parked fiber `delay` from now.
   void wake_after(EventLoop& loop, SimDuration delay) {
     V_CHECK(handle_ != nullptr);
     auto h = std::exchange(handle_, nullptr);
-    loop.schedule_after(delay, [h] { h.resume(); });
+    loop.schedule_after(delay, [h, f = fiber_] {
+      FiberRunScope scope(f.get());
+      h.resume();
+    });
   }
 
   [[nodiscard]] bool armed() const noexcept { return handle_ != nullptr; }
@@ -66,6 +75,7 @@ class Waker {
  private:
   friend class ParkAwaiter;
   std::coroutine_handle<> handle_ = nullptr;
+  std::shared_ptr<FiberState> fiber_;  ///< parked fiber, for the run scope
 };
 
 class ParkAwaiter {
@@ -78,6 +88,7 @@ class ParkAwaiter {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) noexcept {
     waker_.handle_ = h;
+    waker_.fiber_ = fiber_;
   }
   void await_resume() const {
     if (fiber_ && fiber_->killed) throw FiberKilled{};

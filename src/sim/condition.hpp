@@ -60,7 +60,10 @@ class WaitQueue {
       Parked p = std::move(waiters_.front());
       waiters_.pop_front();
       if (p.fiber && p.fiber->killed) continue;
-      loop.schedule_after(0, [h = p.handle] { h.resume(); });
+      loop.schedule_after(0, [h = p.handle, f = p.fiber] {
+        FiberRunScope scope(f.get());
+        h.resume();
+      });
       return;
     }
   }

@@ -2,9 +2,29 @@
 
 #include <utility>
 
+#if V_TRACE_ENABLED
+#include <chrono>
+#endif
+
+#include "common/log.hpp"
+#include "sim/task.hpp"
+
 namespace v::sim {
 
 namespace {
+
+/// VLOG bridge: every log line is stamped with the simulated time and pid
+/// of whatever the ambient context says is running right now.
+log_detail::Context ambient_log_context() {
+  log_detail::Context ctx;
+  const AmbientContext& amb = ambient();
+  if (amb.loop != nullptr) {
+    ctx.has_time = true;
+    ctx.time_ns = amb.loop->now();
+  }
+  if (amb.fiber != nullptr) ctx.pid = amb.fiber->pid;
+  return ctx;
+}
 
 /// splitmix64 finalizer: a cheap, high-quality 64-bit mix.  Used to turn
 /// (fuzz seed, sequence number) into a tie key so simultaneous events fire
@@ -17,6 +37,10 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 }
 
 }  // namespace
+
+EventLoop::EventLoop() {
+  log_detail::set_context_provider(&ambient_log_context);
+}
 
 std::uint64_t EventLoop::tie_key(std::uint64_t seq) const noexcept {
   return fuzz_ ? mix64(fuzz_seed_ ^ mix64(seq)) : seq;
@@ -37,7 +61,22 @@ bool EventLoop::step() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  // Ambient context: the simulation is single-threaded, but loops nest
+  // (domains inside domains in tests), so save and restore.
+  AmbientContext& amb = ambient();
+  const EventLoop* prev_loop = amb.loop;
+  amb.loop = this;
+#if V_TRACE_ENABLED
+  const auto wall_start = std::chrono::steady_clock::now();
+#endif
   ev.action();
+#if V_TRACE_ENABLED
+  stats_.wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+#endif
+  amb.loop = prev_loop;
   return true;
 }
 

@@ -15,6 +15,10 @@
 // interleaving in one command.
 #pragma once
 
+#ifndef V_TRACE_ENABLED
+#define V_TRACE_ENABLED 1
+#endif
+
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -32,6 +36,11 @@ struct EventLoopStats {
   /// debug builds assert, release builds count so fuzz sweeps can flag
   /// time-travel bugs that only surface under permuted schedules.
   std::uint64_t negative_delay_clamps = 0;
+#if V_TRACE_ENABLED
+  /// Host-clock nanoseconds spent inside event actions (V-trace profiling;
+  /// host time only — simulated behavior is identical with it compiled out).
+  std::uint64_t wall_ns = 0;
+#endif
 };
 
 /// Discrete-event scheduler.  Not thread-safe; the whole simulation is
@@ -39,6 +48,10 @@ struct EventLoopStats {
 class EventLoop {
  public:
   using Action = std::function<void()>;
+
+  /// Registers the ambient log-context bridge (VLOG time/pid prefixes) on
+  /// first construction; otherwise stateless setup.
+  EventLoop();
 
   /// Current simulated time.  Monotonically non-decreasing.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
@@ -77,6 +90,15 @@ class EventLoop {
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
   [[nodiscard]] const EventLoopStats& stats() const noexcept { return stats_; }
+
+#if V_TRACE_ENABLED
+  /// Host seconds burned per simulated second so far (V-trace profiling).
+  /// > 1 means the simulation runs slower than real time on this host.
+  [[nodiscard]] double wall_vs_sim() const noexcept {
+    if (now_ <= 0) return 0.0;
+    return static_cast<double>(stats_.wall_ns) / static_cast<double>(now_);
+  }
+#endif
 
   /// Enter schedule-fuzz mode: break same-timestamp ties by a hash of
   /// (seed, seq) instead of scheduling order.  Fully deterministic for a

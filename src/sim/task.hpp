@@ -25,16 +25,27 @@
 // CONDITIONAL EXPRESSION (`c ? co_await a : co_await b`) — use if/else.
 #pragma once
 
+#ifndef V_TRACE_ENABLED
+#define V_TRACE_ENABLED 1
+#endif
+
 #include <coroutine>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 
+#if V_TRACE_ENABLED
+#include <chrono>
+#endif
+
 #include "common/check.hpp"
 
 namespace v::sim {
+
+class EventLoop;
 
 /// Thrown out of an awaitable when the owning fiber has been killed; unwinds
 /// the process coroutine chain.  Server/process code must not swallow it
@@ -46,6 +57,65 @@ struct FiberState {
   bool killed = false;       ///< set by Fiber::kill(); awaitables check it
   bool done = false;         ///< set when the root coroutine finishes
   std::exception_ptr error;  ///< non-kill exception that escaped the root
+  /// Owning simulated process (raw pid; 0 = no kernel process).  Set by the
+  /// kernel at spawn; read by the ambient log context and the profiler.
+  std::uint32_t pid = 0;
+#if V_TRACE_ENABLED
+  std::uint64_t dispatches = 0;  ///< times the event loop resumed this fiber
+  std::uint64_t wall_ns = 0;     ///< cumulative host-CPU time across resumes
+#endif
+};
+
+/// What is executing right now.  One global suffices: the simulation is
+/// single-threaded by design (see EventLoop).  `loop` is set around every
+/// event; `fiber` around every fiber resume — so VLOG can prefix simulated
+/// time and pid, and the profiler can attribute host CPU to fibers.
+struct AmbientContext {
+  const EventLoop* loop = nullptr;
+  const FiberState* fiber = nullptr;
+};
+
+inline AmbientContext& ambient() noexcept {
+  static AmbientContext ctx;
+  return ctx;
+}
+
+/// RAII marker placed around h.resume() at every resume site (fiber start,
+/// Waker wake, DelayAwaiter, WaitQueue, gate handoff): "this fiber runs
+/// from here to end of scope".  Nesting-safe (saves/restores the previous
+/// fiber) and null-tolerant.  With V_TRACE it also charges host-clock time
+/// to the fiber — host time, never simulated time, so profiling cannot
+/// perturb the run.
+class FiberRunScope {
+ public:
+  explicit FiberRunScope(FiberState* fiber) noexcept
+      : fiber_(fiber), prev_(ambient().fiber) {
+    ambient().fiber = fiber;
+#if V_TRACE_ENABLED
+    if (fiber_ != nullptr) start_ = std::chrono::steady_clock::now();
+#endif
+  }
+  FiberRunScope(const FiberRunScope&) = delete;
+  FiberRunScope& operator=(const FiberRunScope&) = delete;
+  ~FiberRunScope() {
+#if V_TRACE_ENABLED
+    if (fiber_ != nullptr) {
+      ++fiber_->dispatches;
+      fiber_->wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count());
+    }
+#endif
+    ambient().fiber = prev_;
+  }
+
+ private:
+  FiberState* fiber_;
+  const FiberState* prev_;
+#if V_TRACE_ENABLED
+  std::chrono::steady_clock::time_point start_;
+#endif
 };
 
 /// A lazily-started coroutine returning T, awaited with symmetric transfer.
@@ -237,6 +307,7 @@ class Fiber {
   void start() {
     V_CHECK(!started_);
     started_ = true;
+    FiberRunScope scope(state_.get());
     root_.resume();
   }
 

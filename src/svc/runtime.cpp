@@ -113,7 +113,14 @@ sim::Co<Result<File>> Rt::open_cached(NameCache& cache,
                                       std::uint16_t mode) {
   const SplitName split = split_dir_leaf(name);
   if (!split.dir.empty()) {
-    if (auto hit = cache.find(split.dir)) {
+    const auto hit = cache.find(split.dir);
+#if V_TRACE_ENABLED
+    self_.domain()
+        .metrics()
+        .counter("client", hit ? "name_cache_hits" : "name_cache_misses")
+        .inc();
+#endif
+    if (hit) {
       // Skip interpretation of the directory part: address the cached
       // context directly with the leaf alone.
       const naming::ContextPair saved = env_.current;

@@ -1,0 +1,321 @@
+// Tests for the observability layer (PR 3): V-trace span parentage across
+// a multi-hop forwarding chain, the `[metrics]` context serving registry
+// values through the normal CSNH path, the ambient VLOG prefix, and the
+// Chrome trace-event export.
+//
+// The recording-side tests sit under #if V_TRACE_ENABLED so this binary
+// also builds and passes in a -DV_TRACE=OFF tree (where the shells record
+// nothing); the VLOG prefix test is always on — the logger is not gated.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chk/ledger.hpp"
+#include "common/log.hpp"
+#include "naming/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "servers/file_server.hpp"
+#include "servers/metrics_server.hpp"
+#include "svc/runtime.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenRead;
+using sim::Co;
+
+/// A chain of file servers joined by "next" links, so that opening
+/// next/next/.../payload.dat forwards across `links` server boundaries.
+struct ChainFixture {
+  explicit ChainFixture(int links) {
+    ws = &dom.add_host("ws1");
+    for (int i = 0; i <= links; ++i) {
+      auto& host = dom.add_host("fs" + std::to_string(i));
+      chain.push_back(std::make_unique<servers::FileServer>(
+          "fs" + std::to_string(i), servers::DiskModel::kMemory, false));
+      pids.push_back(host.spawn("fs" + std::to_string(i),
+                                [srv = chain.back().get()](ipc::Process p) {
+                                  return srv->run(p);
+                                }));
+    }
+    chain.back()->put_file("payload.dat", "end of the chain");
+    for (int i = 0; i < links; ++i) {
+      chain[static_cast<std::size_t>(i)]->put_link(
+          "next",
+          {pids[static_cast<std::size_t>(i) + 1], naming::kDefaultContext});
+    }
+  }
+
+  ipc::Domain dom;
+  ipc::Host* ws = nullptr;
+  std::vector<std::unique_ptr<servers::FileServer>> chain;
+  std::vector<ipc::ProcessId> pids;
+};
+
+#if V_TRACE_ENABLED
+
+TEST(Trace, ForwardingChainSpanParentage) {
+  constexpr int kLinks = 3;  // fs0 -> fs1 -> fs2 -> fs3: four hops
+  ChainFixture fx(kLinks);
+  fx.dom.tracer().enable();
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/next/next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+
+  const auto& spans = fx.dom.tracer().spans();
+  ASSERT_FALSE(spans.empty());
+
+  // Root: the client's traced Send of the Open request.
+  const obs::Span* root = nullptr;
+  for (const auto& s : spans) {
+    if (s.category == "send" && s.name == "send open") {
+      root = &s;
+      break;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+  EXPECT_GE(root->end, root->start);  // closed by the final Reply
+
+  auto children = [&](std::uint32_t parent, const std::string& category) {
+    std::vector<const obs::Span*> out;
+    for (const auto& s : spans) {
+      if (s.trace_id == root->trace_id && s.parent == parent &&
+          s.category == category) {
+        out.push_back(&s);
+      }
+    }
+    return out;
+  };
+
+  // Walk the hop chain: each Forward re-parents the next hop under the
+  // previous one, so the tree must be a single path fs0..fs3.
+  std::vector<std::string> hop_names;
+  const obs::Span* cursor = root;
+  for (;;) {
+    auto hops = children(cursor->id, "hop");
+    if (hops.empty()) break;
+    ASSERT_EQ(hops.size(), 1u) << "forwarding chain must be a single path";
+    cursor = hops[0];
+    hop_names.push_back(cursor->name);
+
+    // Every hop splits into exactly one queue-wait and one service segment.
+    auto queue = children(cursor->id, "queue");
+    auto service = children(cursor->id, "service");
+    ASSERT_EQ(queue.size(), 1u);
+    ASSERT_EQ(service.size(), 1u);
+    EXPECT_LE(queue[0]->start, queue[0]->end);
+    EXPECT_EQ(queue[0]->end, service[0]->start)
+        << "service must begin where queue-wait ends";
+    EXPECT_LE(service[0]->end, cursor->end);
+  }
+  const std::vector<std::string> expected{"hop fs0", "hop fs1", "hop fs2",
+                                          "hop fs3"};
+  EXPECT_EQ(hop_names, expected);
+
+  // The rendering and the Chrome export must both carry the chain.
+  const std::string text = fx.dom.tracer().render_text(root->trace_id);
+  for (const auto& name : expected) {
+    EXPECT_NE(text.find(name), std::string::npos) << text;
+  }
+  const std::string json = fx.dom.tracer().chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("hop fs3"), std::string::npos);
+}
+
+TEST(Trace, UntracedRunRecordsNothing) {
+  ChainFixture fx(1);
+  // tracer never enabled
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+  EXPECT_TRUE(fx.dom.tracer().spans().empty());
+  EXPECT_EQ(fx.dom.tracer().trace_count(), 0u);
+}
+
+TEST(Metrics, ContextReadMatchesRegistry) {
+  ChainFixture fx(0);  // one file server, no links
+  servers::MetricsServer metrics_srv;
+  const auto metrics_pid = fx.ws->spawn(
+      "metrics", [&](ipc::Process p) { return metrics_srv.run(p); });
+
+  std::string read_value;
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    // Generate some traffic so fs0's counters are nonzero.
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+    // Read the counter back through the normal CSNH path.
+    rt.set_current({metrics_pid, naming::kDefaultContext});
+    auto metric = co_await rt.open("fs0/requests", kOpenRead);
+    EXPECT_TRUE(metric.ok());
+    if (metric.ok()) {
+      svc::File f = metric.take();
+      auto bytes = co_await f.read_all();
+      EXPECT_TRUE(bytes.ok());
+      if (bytes.ok()) {
+        read_value.assign(
+            reinterpret_cast<const char*>(bytes.value().data()),
+            bytes.value().size());
+      }
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+
+  // Same value the registry snapshot reports (nothing touched fs0 after
+  // the metric was opened, so the live value did not move).
+  const auto registry_value = fx.dom.metrics().value_text("fs0", "requests");
+  ASSERT_TRUE(registry_value.has_value());
+  EXPECT_EQ(read_value, *registry_value);
+
+  // And it parses as a positive integer (open + close = at least 2).
+  const long parsed = std::strtol(read_value.c_str(), nullptr, 10);
+  EXPECT_GE(parsed, 2);
+
+  // The JSON snapshot mentions the same scope and counter.
+  const std::string json = fx.dom.metrics().to_json();
+  EXPECT_NE(json.find("\"fs0\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+}
+
+TEST(Metrics, LintCountersMirroredIntoRegistry) {
+  ChainFixture fx(1);
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+  // The protocol-lint accessors keep working AND the registry mirrors them
+  // (with V_CHECKS=OFF both legitimately read zero — the mirror must still
+  // agree).
+  const auto& lint = fx.dom.lint().counters();
+  if (chk::enabled()) EXPECT_GT(lint.requests_checked, 0u);
+  const auto mirrored = fx.dom.metrics().value_text("lint",
+                                                    "requests_checked");
+  ASSERT_TRUE(mirrored.has_value());
+  EXPECT_EQ(std::strtoull(mirrored->c_str(), nullptr, 10),
+            lint.requests_checked);
+  // DomainStats likewise: forwards counted and mirrored as ipc/forwards.
+  const auto forwards = fx.dom.metrics().value_text("ipc", "forwards");
+  ASSERT_TRUE(forwards.has_value());
+  EXPECT_EQ(std::strtoull(forwards->c_str(), nullptr, 10),
+            fx.dom.stats().forwards);
+}
+
+TEST(Profile, TopFibersCountDispatches) {
+  ChainFixture fx(1);
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+  const auto top = fx.dom.top_fibers(3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_LE(top.size(), 3u);
+  bool saw_client = false;
+  for (const auto& f : top) {
+    EXPECT_GT(f.dispatches, 0u);
+    if (f.name == "client") saw_client = true;
+  }
+  // Fibers are ranked by host wall time, descending.
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].wall_ns, top[i].wall_ns);
+  }
+  (void)saw_client;  // ranking is wall-time dependent; presence not asserted
+}
+
+#endif  // V_TRACE_ENABLED
+
+TEST(Log, AmbientPrefixStampsTimeAndPid) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  ws.spawn("chatty", [](ipc::Process self) -> Co<void> {
+    co_await self.delay(5 * sim::kMillisecond);
+    VLOG(kInfo, "test-component") << "hello from inside the simulation";
+  });
+  dom.run();
+
+  set_log_sink(nullptr);
+  set_log_level(saved);
+
+  ASSERT_EQ(dom.process_failures(), 0u);
+  ASSERT_FALSE(lines.empty());
+  const std::string& line = lines.back();
+  // Prefix carries simulated time and the current pid (ambient context).
+  EXPECT_NE(line.find("t="), std::string::npos) << line;
+  EXPECT_NE(line.find("pid=0x"), std::string::npos) << line;
+  EXPECT_NE(line.find("test-component"), std::string::npos) << line;
+  EXPECT_NE(line.find("hello from inside the simulation"), std::string::npos)
+      << line;
+}
+
+TEST(Log, SinkRestoredToDefaultIsSafe) {
+  // After restoring the default sink, logging must not crash (goes to
+  // stderr) and a disabled level must not reach any sink.
+  int calls = 0;
+  set_log_sink([&calls](LogLevel, std::string_view, std::string_view) {
+    ++calls;
+  });
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  VLOG(kInfo, "quiet") << "below threshold";
+  EXPECT_EQ(calls, 0);
+  VLOG(kError, "loud") << "above threshold";
+  EXPECT_EQ(calls, 1);
+  set_log_sink(nullptr);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace v

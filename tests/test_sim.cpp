@@ -226,6 +226,36 @@ TEST(Stats, SummaryStatistics) {
   EXPECT_NEAR(acc.stddev(), 1.4142, 1e-3);
 }
 
+TEST(Stats, SingleSampleEveryQuantile) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  // Nearest-rank with n=1 returns the lone sample for every q.
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(acc.percentile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(Stats, TwoSampleQuantileRounding) {
+  Accumulator acc;
+  acc.add(20.0);  // out of order on purpose: percentile sorts
+  acc.add(10.0);
+  // rank = floor(q*(n-1) + 0.5); with n=2 the midpoint rounds UP.
+  EXPECT_DOUBLE_EQ(acc.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(0.49), 10.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(1.0), 20.0);
+}
+
+TEST(Stats, ExtremeQuantilesAreMinAndMax) {
+  Accumulator acc;
+  for (double s : {7.0, 3.0, 9.0, 1.0, 5.0}) acc.add(s);
+  EXPECT_DOUBLE_EQ(acc.percentile(0.0), acc.min());
+  EXPECT_DOUBLE_EQ(acc.percentile(1.0), acc.max());
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(7), b(7), c(8);
   bool all_equal = true;
