@@ -15,7 +15,8 @@ using namespace v;
 using sim::Co;
 using sim::to_ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E2", "bulk MoveTo transfer / program loading");
 
   const auto params = ipc::CalibrationParams::SunWorkstation3Mbit();
@@ -84,5 +85,5 @@ int main() {
   bench::note("shape check: the 64 KB protocol path sits within a few");
   bench::note("percent of the paper's 338 ms; throughput is CPU-bound at");
   bench::note("the SUN's packet-write rate, as the paper observes.");
-  return 0;
+  return bench::finish(json_path);
 }

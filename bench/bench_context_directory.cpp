@@ -14,7 +14,8 @@ using namespace v;
 using sim::Co;
 using sim::to_ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E7 / Fig.3",
                   "context directory read vs enumerate + query-per-object");
 
@@ -78,5 +79,5 @@ int main() {
   bench::note("object's description still pays for the whole directory —");
   bench::note("compare row 'objects=256' directory cost against a single");
   bench::note("query; the paper floats pattern-matching as the fix.");
-  return 0;
+  return bench::finish(json_path);
 }

@@ -34,7 +34,8 @@ sim::Co<void> group_member(ipc::Process self) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E9", "service naming: GetPid broadcast vs multicast "
                         "group Send (section 7)");
 
@@ -158,5 +159,5 @@ int main() {
   bench::note("(fastest) member answers, so it also load-balances.  The");
   bench::note("cached-pid column is the paper's recommendation for");
   bench::note("high-rate use: bind at open time, send directly after.");
-  return 0;
+  return bench::finish(json_path);
 }

@@ -20,7 +20,8 @@ sim::Co<void> echo(ipc::Process self) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E1 / Fig.1", "Send-Receive-Reply message transaction");
 
   ipc::Domain dom;
@@ -81,5 +82,5 @@ int main() {
   bench::note("");
   bench::note("pid structure (Fig. 2): locality test is a 16-bit compare;");
   bench::note("see test_ipc Pid.* for the uniqueness/locality checks.");
-  return 0;
+  return bench::finish(json_path);
 }

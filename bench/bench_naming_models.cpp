@@ -15,7 +15,8 @@ using namespace v;
 using sim::Co;
 using sim::to_ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E8", "distributed interpretation vs centralized name "
                         "server (section 2.2)");
 
@@ -184,5 +185,5 @@ int main() {
               distributed_named_after_fs2_death);
   bench::note("  a server crash takes out exactly its own objects — there");
   bench::note("  is no central failure point that unnames healthy ones.");
-  return 0;
+  return bench::finish(json_path);
 }

@@ -72,7 +72,8 @@ Matrix measure(ipc::CalibrationParams params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E4", "Open latency matrix (paper section 6)");
 
   bench::note("calibration: SunWorkstation3Mbit");
@@ -102,5 +103,5 @@ int main() {
   bench::note("key reproduction: the two deltas are equal on BOTH");
   bench::note("calibrations — the prefix-server cost is independent of the");
   bench::note("target's locality because the prefix server is always local.");
-  return 0;
+  return bench::finish(json_path);
 }

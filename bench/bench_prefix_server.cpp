@@ -11,7 +11,8 @@ using namespace v;
 using sim::Co;
 using sim::to_ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E5", "context prefix server: footprint and operation "
                         "costs");
 
@@ -103,5 +104,5 @@ int main() {
   bench::note("the logical-entry premium is the per-use GetPid; the paper");
   bench::note("accepts it to keep generic service names valid across");
   bench::note("server restarts (section 6).");
-  return 0;
+  return bench::finish(json_path);
 }

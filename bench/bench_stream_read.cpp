@@ -46,7 +46,8 @@ double measure_stream(bool remote, servers::DiskModel disk, int pages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E3", "sequential 512 B page reads (15 ms/page disk)");
   bench::row("remote server, disk model, steady state",
              measure_stream(true, servers::DiskModel::kDisk, 32), 17.13);
@@ -62,5 +63,5 @@ int main() {
   bench::note("this comparable to highly tuned file-access protocols.");
   bench::note("Without the disk the same protocol sustains one page per");
   bench::note("~6 ms remote / ~1.3 ms local.");
-  return 0;
+  return bench::finish(json_path);
 }

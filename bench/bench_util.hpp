@@ -6,6 +6,8 @@
 // non-zero if any simulated process died unexpectedly.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +46,24 @@ class JsonReport {
     run_calibration_ = std::move(calibration);
     have_run_info_ = true;
   }
+  /// Record host-side timing mode: how many repeats the bench ran and the
+  /// median wall-clock per repeat.  Host numbers are the only
+  /// non-deterministic part of a report, so the JSON states how they were
+  /// stabilised.
+  void set_host_timing(int repeats, double median_ms) {
+    host_repeats_ = repeats;
+    host_median_ms_ = median_ms;
+  }
+  /// Record end-of-run name-cache counters so a checked-in report carries
+  /// its hit/miss/stale/fallback profile alongside the latencies.
+  void set_cache_stats(std::uint64_t hits, std::uint64_t misses,
+                       std::uint64_t stale, std::uint64_t fallbacks) {
+    cache_hits_ = hits;
+    cache_misses_ = misses;
+    cache_stale_ = stale;
+    cache_fallbacks_ = fallbacks;
+    have_cache_stats_ = true;
+  }
   void add_row(const std::string& label, double measured_ms,
                double paper_ms) {
     if (sections_.empty()) sections_.push_back({"", "", {}, {}});
@@ -63,10 +83,25 @@ class JsonReport {
     if (have_run_info_) {
       std::fprintf(f,
                    "  \"run\": {\"seed\": \"0x%llx\", \"schedule\": \"%s\", "
-                   "\"calibration\": \"%s\"},\n",
+                   "\"calibration\": \"%s\"",
                    static_cast<unsigned long long>(run_seed_),
                    run_seed_ == 0 ? "fifo" : "fuzz",
                    escape(run_calibration_).c_str());
+      if (host_repeats_ > 0) {
+        std::fprintf(f,
+                     ", \"host_repeats\": %d, \"host_median_ms\": %.3f",
+                     host_repeats_, host_median_ms_);
+      }
+      if (have_cache_stats_) {
+        std::fprintf(f,
+                     ", \"namecache\": {\"hits\": %llu, \"misses\": %llu, "
+                     "\"stale\": %llu, \"fallbacks\": %llu}",
+                     static_cast<unsigned long long>(cache_hits_),
+                     static_cast<unsigned long long>(cache_misses_),
+                     static_cast<unsigned long long>(cache_stale_),
+                     static_cast<unsigned long long>(cache_fallbacks_));
+      }
+      std::fprintf(f, "},\n");
     }
     std::fprintf(f, "  \"sections\": [\n");
     for (std::size_t s = 0; s < sections_.size(); ++s) {
@@ -127,6 +162,13 @@ class JsonReport {
   bool have_run_info_ = false;
   std::uint64_t run_seed_ = 0;
   std::string run_calibration_;
+  int host_repeats_ = 0;
+  double host_median_ms_ = 0;
+  bool have_cache_stats_ = false;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_stale_ = 0;
+  std::uint64_t cache_fallbacks_ = 0;
 };
 
 inline void headline(const std::string& id, const std::string& title) {
@@ -188,6 +230,57 @@ inline bool write_metrics(const ipc::Domain& dom, const std::string& path) {
   std::fclose(f);
   std::printf("  metrics snapshot written to %s\n", path.c_str());
   return true;
+}
+
+/// Parse `--repeat <n>` from argv (default 1, floor 1).  Simulated times
+/// are deterministic; repeats exist to stabilise HOST-side wall-clock
+/// numbers (see `median_host_ms`).
+inline int repeat_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--repeat") {
+      const long n = std::strtol(argv[i + 1], nullptr, 0);
+      return n > 1 ? static_cast<int>(n) : 1;
+    }
+  }
+  return 1;
+}
+
+/// Run `fn` `repeats` times and return the MEDIAN host wall-clock per run
+/// in milliseconds (median, not mean: robust against a cold first run and
+/// scheduler outliers).  Also records the mode in the JSON run info.
+template <typename Fn>
+inline double median_host_ms(int repeats, Fn&& fn) {
+  if (repeats < 1) repeats = 1;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const double median = samples[samples.size() / 2];
+  JsonReport::instance().set_host_timing(repeats, median);
+  return median;
+}
+
+/// Print and record name-cache counters (aggregated by the caller when a
+/// bench runs several domains).
+inline void cache_stats(std::uint64_t hits, std::uint64_t misses,
+                        std::uint64_t stale, std::uint64_t fallbacks) {
+  std::printf(
+      "  namecache: %llu hits, %llu misses, %llu stale, %llu fallbacks\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(stale),
+      static_cast<unsigned long long>(fallbacks));
+  JsonReport::instance().set_cache_stats(hits, misses, stale, fallbacks);
+}
+inline void cache_stats(const svc::NameCache& cache) {
+  cache_stats(cache.hits(), cache.misses(), cache.stale(),
+              cache.fallbacks());
 }
 
 /// Parse `--seed <n>` (decimal or 0x-hex) from argv.  0 — the default —

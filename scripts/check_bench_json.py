@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate the schema of bench --json reports (bench_util.hpp JsonReport).
+
+Usage: check_bench_json.py report.json [more.json ...]
+
+Expected shape:
+  {
+    "run": {                       # optional
+      "seed": "0x...", "schedule": "fifo"|"fuzz", "calibration": str,
+      "host_repeats": int > 0,     # optional, paired with host_median_ms
+      "host_median_ms": number,
+      "namecache": {"hits": int, "misses": int,
+                    "stale": int, "fallbacks": int}   # optional
+    },
+    "sections": [
+      {"id": str, "title": str,
+       "rows": [{"label": str, "measured_ms": number,
+                 "paper_ms": number}],   # paper_ms optional
+       "notes": [str]}
+    ]
+  }
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(path, f"not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be an object")
+
+    run = doc.get("run")
+    if run is not None:
+        if not isinstance(run, dict):
+            return fail(path, '"run" must be an object')
+        for key, typ in (("seed", str), ("schedule", str),
+                         ("calibration", str)):
+            if not isinstance(run.get(key), typ):
+                return fail(path, f'"run.{key}" must be {typ.__name__}')
+        if run["schedule"] not in ("fifo", "fuzz"):
+            return fail(path, '"run.schedule" must be "fifo" or "fuzz"')
+        if ("host_repeats" in run) != ("host_median_ms" in run):
+            return fail(path, "host_repeats and host_median_ms come in pairs")
+        if "host_repeats" in run:
+            if not isinstance(run["host_repeats"], int) or \
+                    run["host_repeats"] < 1:
+                return fail(path, '"run.host_repeats" must be a positive int')
+            if not isinstance(run["host_median_ms"], (int, float)):
+                return fail(path, '"run.host_median_ms" must be a number')
+        cache = run.get("namecache")
+        if cache is not None:
+            if not isinstance(cache, dict):
+                return fail(path, '"run.namecache" must be an object')
+            for key in ("hits", "misses", "stale", "fallbacks"):
+                if not isinstance(cache.get(key), int) or cache[key] < 0:
+                    return fail(
+                        path, f'"run.namecache.{key}" must be a non-negative '
+                        "int")
+
+    sections = doc.get("sections")
+    if not isinstance(sections, list) or not sections:
+        return fail(path, '"sections" must be a non-empty list')
+    for i, sec in enumerate(sections):
+        where = f"sections[{i}]"
+        if not isinstance(sec, dict):
+            return fail(path, f"{where} must be an object")
+        for key in ("id", "title"):
+            if not isinstance(sec.get(key), str):
+                return fail(path, f'{where}.{key} must be a string')
+        rows = sec.get("rows")
+        if not isinstance(rows, list):
+            return fail(path, f"{where}.rows must be a list")
+        for j, row in enumerate(rows):
+            rwhere = f"{where}.rows[{j}]"
+            if not isinstance(row, dict):
+                return fail(path, f"{rwhere} must be an object")
+            if not isinstance(row.get("label"), str):
+                return fail(path, f'{rwhere}.label must be a string')
+            if not isinstance(row.get("measured_ms"), (int, float)):
+                return fail(path, f'{rwhere}.measured_ms must be a number')
+            if "paper_ms" in row and \
+                    not isinstance(row["paper_ms"], (int, float)):
+                return fail(path, f'{rwhere}.paper_ms must be a number')
+            extra = set(row) - {"label", "measured_ms", "paper_ms"}
+            if extra:
+                return fail(path, f"{rwhere} has unknown keys {sorted(extra)}")
+        notes = sec.get("notes")
+        if not isinstance(notes, list) or \
+                any(not isinstance(n, str) for n in notes):
+            return fail(path, f"{where}.notes must be a list of strings")
+    print(f"OK   {path}: {len(sections)} section(s), "
+          f"{sum(len(s['rows']) for s in sections)} row(s)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return max(check(p) for p in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

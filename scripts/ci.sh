@@ -11,6 +11,8 @@
 #   scripts/ci.sh trace    # V-trace: run the trace example, validate the
 #                          # Chrome JSON, then prove the V_TRACE=OFF build
 #                          # has no obs symbols and identical bench numbers
+#   scripts/ci.sh bench-smoke  # run every bench with --json and validate
+#                          # each report against the JsonReport schema
 #   scripts/ci.sh all      # everything, in the order above
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -93,6 +95,40 @@ run_trace() {
   echo "trace OK"
 }
 
+run_bench_smoke() {
+  echo "==> bench-smoke (every bench --json + schema validation)"
+  cmake --preset default
+  # bench_micro is the google-benchmark host-timing harness: it has its own
+  # CLI and no JsonReport, so the smoke list is every vnames_bench target.
+  local benches=(
+    bench_ipc_transaction bench_bulk_transfer bench_stream_read
+    bench_open_matrix bench_prefix_server bench_forwarding
+    bench_context_directory bench_naming_models bench_group_send
+    bench_name_cache bench_cached_open bench_server_team
+  )
+  for b in "${benches[@]}"; do
+    cmake --build --preset default -j "$(nproc)" --target "$b"
+  done
+  local reports=()
+  for b in "${benches[@]}"; do
+    echo "==> bench-smoke: $b"
+    "./build/bench/$b" --json "/tmp/smoke_$b.json" >/dev/null
+    reports+=("/tmp/smoke_$b.json")
+  done
+  python3 scripts/check_bench_json.py "${reports[@]}"
+  # The two checked-in reports must regenerate identically (host timing
+  # fields are the one legitimately machine-dependent part).
+  diff BENCH_server_team.json /tmp/smoke_bench_server_team.json
+  strip_host_timing BENCH_cached_open.json >/tmp/smoke_ref.json
+  strip_host_timing /tmp/smoke_bench_cached_open.json >/tmp/smoke_new.json
+  diff /tmp/smoke_ref.json /tmp/smoke_new.json
+  echo "bench-smoke OK"
+}
+
+strip_host_timing() {
+  sed -E 's/, "host_repeats": [0-9]+, "host_median_ms": [0-9.]+//' "$1"
+}
+
 case "${1:-default}" in
   default) run_preset default ;;
   asan)    run_preset asan ;;
@@ -100,8 +136,10 @@ case "${1:-default}" in
   fuzz)    run_fuzz ;;
   chk-off) run_chk_off ;;
   trace)   run_trace ;;
+  bench-smoke) run_bench_smoke ;;
   all)     run_preset default; run_preset asan; run_lint; run_fuzz
-           run_chk_off; run_trace ;;
-  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|all]" >&2; exit 2 ;;
+           run_chk_off; run_trace; run_bench_smoke ;;
+  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|bench-smoke|all]" >&2
+     exit 2 ;;
 esac
 echo "CI OK"

@@ -9,7 +9,7 @@
 
 namespace v::chk {
 
-static_assert(kMaxReplyCode == 19,
+static_assert(kMaxReplyCode == 20,
               "ReplyCode grew: update kMaxReplyCode and PROTOCOL.md's "
               "checked-invariants table");
 
@@ -64,7 +64,10 @@ std::string decode_message(const msg::Message& m) {
         << "  mode         = " << msg::cs::mode(m) << "\n"
         << "  forwardcount = "
         << static_cast<unsigned>(msg::cs::forward_count(m)) << "\n"
-        << "  contextid    = " << msg::cs::context_id(m) << "\n";
+        << "  contextid    = " << msg::cs::context_id(m) << "\n"
+        << "  csflags      = "
+        << static_cast<unsigned>(msg::cs::cs_flags(m)) << "\n"
+        << "  expectedgen  = " << msg::cs::expected_generation(m) << "\n";
   } else {
     out << "  (non-CSname request: no standard name fields)\n"
         << "  word[1]      = " << m.u16(2) << "\n"
@@ -145,6 +148,18 @@ std::optional<ReplyCode> ProtocolLint::check_request(
       } else {
         ++counters_.invalid_context_requests;
       }
+    }
+    // Invariant 7 (validated caching, PROTOCOL.md 11): the expected-
+    // generation fields are self-consistent.  Flag bits beyond the defined
+    // set, or a generation value without its flag, betray a client writing
+    // garbage into header space it does not understand.
+    const std::uint8_t flags = msg::cs::cs_flags(request);
+    if ((flags & ~msg::cs::kFlagExpectGen) != 0) {
+      return reject("unknown CSname header flag bits");
+    }
+    if ((flags & msg::cs::kFlagExpectGen) == 0 &&
+        msg::cs::expected_generation(request) != 0) {
+      return reject("expected-generation bytes set without the flag");
     }
   }
   return std::nullopt;

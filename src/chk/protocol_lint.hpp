@@ -41,10 +41,10 @@ namespace v::chk {
 /// stay equal (chk cannot include naming/ without a layering cycle).
 inline constexpr std::uint32_t kMaxCheckedNameLength = 4096;
 
-/// Highest registered ReplyCode value (kBusy).  Static-asserted against the
-/// real enum where common/reply_codes.hpp is in scope.
+/// Highest registered ReplyCode value (kStaleContext).  Static-asserted
+/// against the real enum where common/reply_codes.hpp is in scope.
 inline constexpr std::uint16_t kMaxReplyCode =
-    static_cast<std::uint16_t>(v::ReplyCode::kBusy);
+    static_cast<std::uint16_t>(v::ReplyCode::kStaleContext);
 
 #if V_CHECKS_ENABLED
 

@@ -24,6 +24,7 @@ std::string_view to_string(ReplyCode code) noexcept {
     case ReplyCode::kTimeout: return "TIMEOUT";
     case ReplyCode::kStaleBinding: return "STALE_BINDING";
     case ReplyCode::kBusy: return "BUSY";
+    case ReplyCode::kStaleContext: return "STALE_CONTEXT";
   }
   return "UNKNOWN_REPLY_CODE";
 }

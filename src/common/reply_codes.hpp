@@ -40,6 +40,10 @@ enum class ReplyCode : std::uint16_t {
                             ///< at an object that no longer exists.
   kBusy = 19,               ///< Server team saturated: work queue full, the
                             ///< request was shed.  Clients may retry.
+  kStaleContext = 20,       ///< Request carried an expected context
+                            ///< generation that no longer matches: the name
+                            ///< space changed since the binding was learned.
+                            ///< The request had no effect; re-resolve.
 };
 
 /// Human-readable name for a reply code (for logs, tests and examples).

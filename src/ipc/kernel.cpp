@@ -44,7 +44,7 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
   ++rec.send_seq;
   ++domain_->stats_.messages_sent;
   if (!dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  Envelope env{pid_, request, segments, {}};
+  Envelope env{pid_, request, segments, {}, {}};
 #if V_TRACE_ENABLED
   if (auto& tr = domain_->tracer(); tr.active()) {
     env.trace.trace_id = tr.begin_trace();
@@ -72,7 +72,7 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
   rec.exposed = segments;
   const auto seq = ++rec.send_seq;
 
-  Envelope proto{pid_, request, segments, {}};
+  Envelope proto{pid_, request, segments, {}, {}};
 #if V_TRACE_ENABLED
   if (auto& tr = domain_->tracer(); tr.active()) {
     proto.trace.trace_id = tr.begin_trace();
@@ -127,12 +127,23 @@ void Process::reply(const msg::Message& reply_msg, ProcessId to) {
   domain_->deliver_reply(host_id(), reply_msg, to, pid_);
 }
 
+void Process::reply_with_hint(const msg::Message& reply_msg, ProcessId to,
+                              const BindingHint& hint,
+                              const BindingHint& origin) {
+  ++domain_->stats_.replies_sent;
+  domain_->deliver_reply(host_id(), reply_msg, to, pid_, hint, origin);
+}
+
+BindingHint Process::last_binding_hint() const { return record().reply_hint; }
+
+BindingHint Process::last_origin_hint() const { return record().reply_origin; }
+
 void Process::forward(const Envelope& env, ProcessId new_dest) {
   // "It appears as though the sender originally sent to the third process."
   ++domain_->stats_.forwards;
   ++domain_->stats_.messages_sent;
   if (!new_dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  Envelope fwd{env.sender, env.request, env.segments, env.trace};
+  Envelope fwd{env.sender, env.request, env.segments, env.trace, env.origin};
   domain_->deliver(host_id(), std::move(fwd), new_dest);
 }
 
@@ -143,7 +154,8 @@ void Process::forward_to_group(const Envelope& env, GroupId group) {
   if (it != domain_->groups_.end()) {
     for (ProcessId member : it->second) {
       if (!domain_->process_alive(member)) continue;
-      Envelope fwd{env.sender, env.request, env.segments, env.trace};
+      Envelope fwd{env.sender, env.request, env.segments, env.trace,
+                   env.origin};
       domain_->deliver(host_id(), std::move(fwd),
                        member, /*synth_on_dead=*/false);
       ++domain_->stats_.messages_sent;
@@ -492,14 +504,17 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
 }
 
 void Domain::deliver_reply(HostId from_host, msg::Message reply,
-                           ProcessId to, ProcessId from) {
+                           ProcessId to, ProcessId from,
+                           const BindingHint& hint,
+                           const BindingHint& origin) {
   // Protocol lint: replies from registered server-team pids must carry a
   // standard reply code.  Violations are recorded but still delivered.
   lint_.check_reply(reply, from.raw, to.raw,
                     static_cast<std::uint64_t>(loop_.now()));
   const bool local = to.local_to(from_host);
-  loop_.schedule_after(params_.hop(local),
-                       [this, reply, to] { complete_reply(to, reply); });
+  loop_.schedule_after(params_.hop(local), [this, reply, to, hint, origin] {
+    complete_reply(to, reply, hint, origin);
+  });
 }
 
 void Domain::synth_reply(ProcessId to, ReplyCode code) {
@@ -508,7 +523,9 @@ void Domain::synth_reply(ProcessId to, ReplyCode code) {
   });
 }
 
-void Domain::complete_reply(ProcessId to, const msg::Message& reply) {
+void Domain::complete_reply(ProcessId to, const msg::Message& reply,
+                            const BindingHint& hint,
+                            const BindingHint& origin) {
   auto* rec = find(to);
   if (rec == nullptr || !rec->alive || !rec->awaiting_reply) {
     return;  // late/duplicate reply (e.g. second group answer): discarded
@@ -516,6 +533,8 @@ void Domain::complete_reply(ProcessId to, const msg::Message& reply) {
   rec->awaiting_reply = false;
   rec->blocked_on = ProcessId::invalid();
   rec->reply = reply;
+  rec->reply_hint = hint;      // {} for unhinted and synthesized replies
+  rec->reply_origin = origin;
 #if V_TRACE_ENABLED
   // One outstanding Send per process, so the sender pid keys the open root
   // span; closing it here covers Reply, Forward chains and synthesized

@@ -59,6 +59,22 @@ struct Segments {
   std::span<std::byte> write;       ///< receiver may MoveTo this
 };
 
+/// Where a name interpretation actually ended: the final server, the
+/// context it dispatched the leaf in, that context's generation, and how
+/// many name bytes the resolution chain consumed before the leaf.
+/// Piggybacked on successful CSname replies as a *simulation extra*
+/// (PROTOCOL.md §11) — like obs::TraceContext, but travelling in the reply
+/// direction — so clients learn validated bindings with zero extra
+/// messages.  An all-zero hint means "no hint".
+struct BindingHint {
+  std::uint32_t server_pid = 0;  ///< receptionist pid of the final server
+  std::uint32_t context_id = 0;  ///< context the leaf was dispatched in
+  std::uint32_t generation = 0;  ///< that context's generation at dispatch
+  std::uint16_t consumed = 0;    ///< name bytes interpreted before the leaf
+
+  [[nodiscard]] bool valid() const noexcept { return server_pid != 0; }
+};
+
 /// A received message as seen by the receiver.
 struct Envelope {
   ProcessId sender;      ///< who is blocked awaiting the reply
@@ -67,6 +83,11 @@ struct Envelope {
   /// V-trace state, propagated by Send/Forward (NOT paper wire format —
   /// a simulation extra, PROTOCOL.md §10).  Empty with V_TRACE=OFF.
   obs::TraceContext trace;
+  /// Binding of the context the CLIENT addressed, stamped by the first
+  /// server before it forwards (simulation extra, PROTOCOL.md §11).  The
+  /// final server echoes it in its reply hint so the client can tie the
+  /// terminal binding back to the prefix entry it started from.
+  BindingHint origin;
 };
 
 namespace detail {
@@ -87,6 +108,8 @@ struct ProcessRecord {
   // Sender-side blocking state.
   sim::Waker reply_waker;
   msg::Message reply;
+  BindingHint reply_hint;    ///< final-binding hint riding the last reply
+  BindingHint reply_origin;  ///< origin-binding echo riding the last reply
   bool awaiting_reply = false;
   ProcessId blocked_on;      ///< current holder of our request (updated on
                              ///< forward delivery); used by crash sweeps
@@ -137,6 +160,19 @@ class Process {
 
   /// Reply to a blocked sender.  Non-blocking; delivery is scheduled.
   void reply(const msg::Message& reply_msg, ProcessId to);
+
+  /// Reply with a piggybacked binding hint (simulation extra, PROTOCOL.md
+  /// §11): `hint` is where interpretation ended, `origin` echoes the
+  /// envelope's origin binding.  Costs exactly what reply() costs.
+  void reply_with_hint(const msg::Message& reply_msg, ProcessId to,
+                       const BindingHint& hint, const BindingHint& origin);
+
+  /// The binding hint that rode the reply to this process's last send
+  /// (invalid() when the reply carried none — errors, synthesized replies,
+  /// non-CSname traffic).
+  [[nodiscard]] BindingHint last_binding_hint() const;
+  /// The origin-binding echo from the last reply (see Envelope::origin).
+  [[nodiscard]] BindingHint last_origin_hint() const;
 
   /// Forward a received message to another process.  The original sender
   /// stays blocked; `env.request` as passed here (possibly rewritten) is
@@ -304,6 +340,17 @@ class Domain {
   /// Transport counters accumulated since construction.
   [[nodiscard]] const DomainStats& stats() const noexcept { return stats_; }
 
+  /// Next value of the domain-wide name-space generation sequence.  Every
+  /// context-generation assignment (server start and every gated mutation)
+  /// draws from this one monotone counter, so a generation can never recur
+  /// across server incarnations — a restarted (or impostor) server's
+  /// contexts always mismatch a cached generation instead of silently
+  /// aliasing it (the paper-§2.2 hazard).  Never returns 0 ("no
+  /// expectation" on the wire).
+  [[nodiscard]] std::uint32_t next_name_generation() noexcept {
+    return ++name_generation_;
+  }
+
   /// Count of fibers that died with an unexpected exception (tests assert
   /// this stays zero).
   [[nodiscard]] std::size_t process_failures() const noexcept {
@@ -368,14 +415,19 @@ class Domain {
   /// Schedule a reply delivery to a blocked sender.  `from` identifies the
   /// replying process for the protocol lint (invalid() for kernel-
   /// synthesized replies, which are exempt from server-conformance checks).
+  /// `hint`/`origin` are the piggybacked binding hints ({} for unhinted
+  /// replies); they ride the scheduled delivery and cost nothing.
   void deliver_reply(HostId from_host, msg::Message reply, ProcessId to,
-                     ProcessId from);
+                     ProcessId from, const BindingHint& hint = {},
+                     const BindingHint& origin = {});
 
   /// Synthesize a failure reply (kNoReply etc.) to a blocked sender, at a
   /// hop's delay.
   void synth_reply(ProcessId to, ReplyCode code);
 
-  void complete_reply(ProcessId to, const msg::Message& reply);
+  void complete_reply(ProcessId to, const msg::Message& reply,
+                      const BindingHint& hint = {},
+                      const BindingHint& origin = {});
   void kill_process(detail::ProcessRecord& rec);
 
   CalibrationParams params_;
@@ -389,6 +441,7 @@ class Domain {
   std::unordered_map<std::uint32_t, detail::ProcessRecord*> by_pid_;
   std::map<GroupId, std::vector<ProcessId>> groups_;
   DomainStats stats_;
+  std::uint32_t name_generation_ = 0;
   std::size_t failures_ = 0;
   std::string first_failure_;
   chk::Ledger checks_;

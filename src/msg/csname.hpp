@@ -24,6 +24,17 @@ inline constexpr std::size_t kOffForwardCount = 7;  // u8 servers traversed
 inline constexpr std::size_t kOffContextId = 8;   // u32 context identifier
 inline constexpr std::size_t kVariantStart = 12;  // op-specific fields
 
+// Validated-caching fields (bytes 24..28).  No standard operation's variant
+// part reaches past byte 23 (kAddContextName is the widest, ending at 23),
+// so these ride in otherwise-unused header space.  A request MAY carry the
+// context generation the client expects the addressed context to have; a
+// server whose generation differs answers kStaleContext without
+// interpreting.  Absence of the flag means "no expectation" — the 1984
+// behaviour, bit-for-bit.
+inline constexpr std::size_t kOffExpectedGen = 24;  // u32 expected generation
+inline constexpr std::size_t kOffCsFlags = 28;      // u8 CSname header flags
+inline constexpr std::uint8_t kFlagExpectGen = 0x01;  // kOffExpectedGen valid
+
 /// Forwarding budget: a request traversing more servers than this is
 /// answered kForwardLoop.  Cross-server pointer graphs are arbitrary
 /// directed graphs (section 5.8), so cycles are expressible; this bound
@@ -70,6 +81,38 @@ inline void set_mode(Message& m, std::uint16_t mode_bits) noexcept {
 }
 inline void set_forward_count(Message& m, std::uint8_t count) noexcept {
   m.raw()[kOffForwardCount] = static_cast<std::byte>(count);
+}
+
+/// CSname header flag bits (kOffCsFlags).
+[[nodiscard]] inline std::uint8_t cs_flags(const Message& m) noexcept {
+  return static_cast<std::uint8_t>(m.raw()[kOffCsFlags]);
+}
+
+/// True when the request carries an expected context generation.
+[[nodiscard]] inline bool has_expected_generation(const Message& m) noexcept {
+  return (cs_flags(m) & kFlagExpectGen) != 0;
+}
+
+/// The generation the client expects the addressed context to have.
+/// Meaningful only when has_expected_generation().
+[[nodiscard]] inline std::uint32_t expected_generation(
+    const Message& m) noexcept {
+  return m.u32(kOffExpectedGen);
+}
+
+/// Stamp an expected generation onto the request.
+inline void set_expected_generation(Message& m, std::uint32_t gen) noexcept {
+  m.set_u32(kOffExpectedGen, gen);
+  m.raw()[kOffCsFlags] =
+      static_cast<std::byte>(cs_flags(m) | kFlagExpectGen);
+}
+
+/// Drop the expectation (a forwarding server clears it: the expectation
+/// applied to the context the client addressed, not to downstream ones).
+inline void clear_expected_generation(Message& m) noexcept {
+  m.set_u32(kOffExpectedGen, 0);
+  m.raw()[kOffCsFlags] =
+      static_cast<std::byte>(cs_flags(m) & ~kFlagExpectGen);
 }
 
 /// Build the skeleton of a CSname request: code + standard fields.

@@ -138,6 +138,11 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
   // meaningless).
   work_queue_.raw().clear();
   gates_.clear();
+  // Fresh incarnation, fresh generation floor: every generation a client
+  // cached against a previous incarnation (or against whatever server held
+  // this pid before) is now strictly below the floor and must mismatch.
+  generations_.clear();
+  gen_floor_ = self.domain().next_name_generation();
   if constexpr (chk::enabled()) {
     self.domain().checks().forget_server(this);
     self.domain().lint().register_server(
@@ -394,6 +399,18 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
     self.reply(msg::make_reply(ReplyCode::kInvalidContext), env.sender);
     co_return;
   }
+  // Validated caching (PROTOCOL.md 11): a client that learned this context
+  // through a binding hint may quote the generation it expects.  If the
+  // name space changed since (any gated mutation bumps the generation), we
+  // answer kStaleContext INSTEAD of interpreting against a name space the
+  // client no longer means — the §2.2 silent-wrong-answer, made loud.
+  if (msg::cs::has_expected_generation(env.request) &&
+      msg::cs::expected_generation(env.request) != generation(ctx)) {
+    metric_inc(self, "stale_context");
+    self.reply(msg::make_reply(ReplyCode::kStaleContext), env.sender);
+    co_return;
+  }
+  const ContextId entry_ctx = ctx;  ///< context the sender addressed here
 
   // 3. Interpret components left to right, updating CurrentContext; when a
   //    component names a context on another server, rewrite the standard
@@ -430,6 +447,21 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
       msg::cs::set_forward_count(env.request,
                                  static_cast<std::uint8_t>(hops + 1));
       msg::cs::set_name_index(env.request, static_cast<std::uint16_t>(next));
+      // An expected generation applies to the context the CLIENT addressed
+      // (already validated above, on this server); it says nothing about
+      // downstream contexts, so it must not travel with the forward.
+      if (msg::cs::has_expected_generation(env.request)) {
+        msg::cs::clear_expected_generation(env.request);
+      }
+      // First forward of this request: record where interpretation STARTED
+      // (simulation extra, PROTOCOL.md 11).  The final server echoes this
+      // origin binding in its reply hint, so the client can tie the
+      // terminal binding to the entry it resolved through — and notice,
+      // via the generation, when that entry's table has since changed.
+      if (!env.origin.valid()) {
+        env.origin = ipc::BindingHint{pid_.raw, entry_ctx,
+                                      generation(entry_ctx), 0};
+      }
       metric_inc(self, "forwarded");
       if (found.kind == LookupResult::Kind::kGroupContext) {
         // Section 7: the context is implemented by a group of servers; the
@@ -542,7 +574,24 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
       reply = co_await handle_custom_csname(self, env, ctx, leaf, name);
       break;
   }
-  self.reply(reply, env.sender);
+  // A successful gated mutation changed the name space under ctx: advance
+  // its generation (gate still held, so the bump is race-detector clean and
+  // ordered with the mutation it records).
+  if (reply.code() == static_cast<std::uint16_t>(ReplyCode::kOk) &&
+      mutates_name(code, msg::cs::mode(env.request))) {
+    bump_generation(self, ctx);
+  }
+  // Piggyback the binding hint on success: interpretation ended HERE, in
+  // ctx, with the leaf starting at `index` — everything a client needs to
+  // come straight back next time, stamped with the generation that lets us
+  // refuse if the name space moves on (PROTOCOL.md 11; costs nothing).
+  if (reply.code() == static_cast<std::uint16_t>(ReplyCode::kOk)) {
+    const ipc::BindingHint hint{pid_.raw, ctx, generation(ctx),
+                                static_cast<std::uint16_t>(index)};
+    self.reply_with_hint(reply, env.sender, hint, env.origin);
+  } else {
+    self.reply(reply, env.sender);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -669,7 +718,13 @@ sim::Co<ReplyCode> CsnhServer::gated_modify(ipc::Process& self, ContextId ctx,
   GateLock gate(*this, self.domain(), self.fiber_state(),
                 GateKey{ctx, desc.name}, self.pid());
   co_await gate;
-  co_return co_await modify(self, ctx, desc.name, desc);
+  const ReplyCode code = co_await modify(self, ctx, desc.name, desc);
+  if (code == ReplyCode::kOk) bump_generation(self, ctx);
+  co_return code;
+}
+
+void CsnhServer::bump_generation(ipc::Process& self, ContextId ctx) {
+  generations_[ctx] = self.domain().next_name_generation();
 }
 
 #if V_CHECKS_ENABLED

@@ -89,6 +89,17 @@ class CsnhServer {
 
   /// Requests shed with kBusy because the work queue was at queue_cap.
   [[nodiscard]] std::uint64_t shed_count() const noexcept { return sheds_; }
+
+  /// Current generation of `ctx` in this incarnation of the server.  Every
+  /// gated name-space mutation bumps the affected context's generation; the
+  /// values are drawn from the DOMAIN-wide monotone sequence, so no
+  /// generation ever recurs — not in this server, not in a restarted one,
+  /// not in an impostor listening on a recycled pid.  A request carrying an
+  /// expected generation that differs is answered kStaleContext.
+  [[nodiscard]] std::uint32_t generation(ContextId ctx) const noexcept {
+    const auto it = generations_.find(ctx);
+    return it != generations_.end() ? it->second : gen_floor_;
+  }
   /// Requests accepted but not yet picked up by a worker.
   [[nodiscard]] std::size_t queue_depth() const noexcept {
     return work_queue_.raw().size();
@@ -271,6 +282,13 @@ class CsnhServer {
 #endif
   }
 
+  /// Advance `ctx`'s generation (next value of the domain-wide sequence).
+  /// The base calls this after every successful gated mutation; subclasses
+  /// whose mutations touch MORE contexts than the dispatched one (a
+  /// directory rename relocates every descendant context) call it for each
+  /// extra context affected, while still holding the mutation gate.
+  void bump_generation(ipc::Process& self, ContextId ctx);
+
   /// V-trace metric helpers: count/measure under this server's registry
   /// scope (its process name).  Declared unconditionally so subclasses call
   /// them unguarded; the bodies compile to nothing with V_TRACE=OFF.
@@ -379,6 +397,14 @@ class CsnhServer {
   /// the object across co_awaits hold a shared_ptr instead, by design).
   chk::CellState instances_cell_{"server.instances"};
   ipc::ProcessId pid_;
+
+  // --- context generations ---------------------------------------------------
+  /// Per-context generation overrides; contexts never mutated in this
+  /// incarnation sit at gen_floor_.  Cleared on (re)start: a fresh floor
+  /// from the domain sequence makes every previously-cached generation
+  /// mismatch, which is what defeats the paper-§2.2 impostor aliasing.
+  std::map<ContextId, std::uint32_t> generations_;
+  std::uint32_t gen_floor_ = 0;
 
   // --- team state ------------------------------------------------------------
   TeamConfig team_;

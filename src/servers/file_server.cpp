@@ -434,8 +434,26 @@ sim::Co<ReplyCode> FileServer::rename(ipc::Process& self,
   if (auto* node = find_inode(id)) {
     node->name_in_parent = std::string(new_leaf);
     node->mtime = sim_seconds(self);
+    if (node->kind == Inode::Kind::kDirectory) {
+      // Renaming a directory relocates every context beneath it: a client
+      // holding a cached binding for the OLD path would otherwise keep
+      // hitting these contexts under a name that no longer reaches them.
+      // Still under the (ctx, leaf) mutation gate of this rename.
+      bump_subtree_generations(self, *node);
+    }
   }
   co_return ReplyCode::kOk;
+}
+
+void FileServer::bump_subtree_generations(ipc::Process& self,
+                                          const Inode& dir) {
+  bump_generation(self, static_cast<naming::ContextId>(dir.id));
+  for (const auto& [name, child_id] : dir.entries) {
+    const auto* node = find_inode(child_id);
+    if (node != nullptr && node->kind == Inode::Kind::kDirectory) {
+      bump_subtree_generations(self, *node);
+    }
+  }
 }
 
 sim::Co<ReplyCode> FileServer::create_object(ipc::Process& self,

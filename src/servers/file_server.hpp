@@ -122,6 +122,10 @@ class FileServer : public naming::CsnhServer {
   };
 
   Inode& alloc(Inode::Kind kind, InodeId parent, std::string name);
+  /// Advance the generation of `dir`'s context and every directory context
+  /// beneath it (a directory rename relocates the whole subtree).  Caller
+  /// holds the mutation gate of the rename that justifies the bumps.
+  void bump_subtree_generations(ipc::Process& self, const Inode& dir);
   [[nodiscard]] Inode* find_inode(InodeId id);
   [[nodiscard]] const Inode* find_inode(InodeId id) const;
   [[nodiscard]] Inode* child(Inode& dir, std::string_view name);

@@ -24,14 +24,20 @@ sim::Co<msg::Message> Rt::send_csname(msg::Message request,
                                       std::span<const std::byte> payload,
                                       std::span<std::byte> write_segment) {
   co_await self_.compute(self_.params().send_build);
-  // Read segment layout: name bytes, then the operation payload.
-  std::vector<std::byte> read_buffer(name.size() + payload.size());
-  if (!name.empty()) {
-    std::memcpy(read_buffer.data(), name.data(), name.size());
-  }
+  // Read segment layout: name bytes, then the operation payload.  Most ops
+  // carry no payload, and the caller's name storage outlives the blocking
+  // send — reference it in place instead of staging a copy.
+  std::vector<std::byte> read_buffer;
+  std::span<const std::byte> read_segment =
+      std::as_bytes(std::span(name.data(), name.size()));
   if (!payload.empty()) {
+    read_buffer.resize(name.size() + payload.size());
+    if (!name.empty()) {
+      std::memcpy(read_buffer.data(), name.data(), name.size());
+    }
     std::memcpy(read_buffer.data() + name.size(), payload.data(),
                 payload.size());
+    read_segment = read_buffer;
   }
   msg::cs::set_name_length(request, static_cast<std::uint16_t>(name.size()));
   msg::cs::set_name_index(request, 0);
@@ -53,18 +59,41 @@ sim::Co<msg::Message> Rt::send_csname(msg::Message request,
     msg::cs::set_context_id(request, env_.current.context);
   }
   ipc::Segments segments;
-  segments.read = read_buffer;
+  segments.read = read_segment;
   segments.write = write_segment;
-  co_return co_await self_.send(request, dest, segments);
+  const Message reply = co_await self_.send(request, dest, segments);
+  observe_reply_hints();
+  co_return reply;
 }
 
-sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
-                                                  std::uint16_t mode) {
-  Message request;
-  request.set_code(RequestCode::kCreateInstance);
-  msg::cs::set_mode(request, mode);
-  const Message reply = co_await send_csname(request, name);
-  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+void Rt::set_cache(NameCache* cache) {
+  cache_ = cache;
+#if V_TRACE_ENABLED
+  if (cache_ != nullptr) {
+    // Materialize the namecache scope so "[metrics]namecache" is listable
+    // before the first hit/miss.
+    auto& metrics = self_.domain().metrics();
+    metrics.counter("namecache", "hits");
+    metrics.counter("namecache", "misses");
+    metrics.counter("namecache", "stale");
+    metrics.counter("namecache", "fallbacks");
+  }
+#endif
+}
+
+void Rt::observe_reply_hints() {
+  if (cache_ == nullptr) return;
+  // The origin hint reports the entry binding the request travelled
+  // through; the binding hint reports the final one, which doubles as an
+  // origin observation for requests that never forwarded (e.g. this
+  // client's own prefix-table edits).
+  cache_->observe_origin(self_.last_origin_hint());
+  cache_->observe_origin(self_.last_binding_hint());
+}
+
+namespace {
+/// Decode a successful kCreateInstance reply into an OpenedFile.
+Rt::OpenedFile decode_open_reply(ipc::Process self, const Message& reply) {
   io::InstanceInfo info;
   info.size_bytes = reply.u32(io::kOffCreateSize);
   info.block_bytes = reply.u16(io::kOffCreateBlock);
@@ -77,23 +106,13 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
   const ipc::ProcessId server{reply.u32(io::kOffCreateServerPid)};
   const naming::ContextPair directory{server,
                                       reply.u32(io::kOffCreateContextId)};
-  co_return OpenedFile{File(self_, server, instance, info), directory};
+  return Rt::OpenedFile{File(self, server, instance, info), directory};
 }
+}  // namespace
 
-sim::Co<Result<File>> Rt::open(std::string_view name, std::uint16_t mode) {
-  auto opened = co_await open_detailed(name, mode);
-  if (!opened.ok()) co_return opened.code();
-  co_return opened.take().file;
-}
-
-namespace {
 /// Split a name into (directory-part, leaf).  An empty directory means
 /// "interpret in the current context" — nothing cacheable.
-struct SplitName {
-  std::string_view dir;
-  std::string_view leaf;
-};
-SplitName split_dir_leaf(std::string_view name) {
+Rt::SplitName Rt::split_dir_leaf(std::string_view name) {
   const auto slash = name.rfind('/');
   if (slash != std::string_view::npos) {
     return {name.substr(0, slash), name.substr(slash + 1)};
@@ -106,45 +125,123 @@ SplitName split_dir_leaf(std::string_view name) {
   }
   return {std::string_view{}, name};
 }
-}  // namespace
+
+sim::Co<Result<Rt::OpenedFile>> Rt::open_resolved(std::string_view name,
+                                                  std::uint16_t mode) {
+  Message request;
+  request.set_code(RequestCode::kCreateInstance);
+  msg::cs::set_mode(request, mode);
+  const Message reply = co_await send_csname(request, name);
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  if (cache_ != nullptr) {
+    // Learn the directory binding from the piggybacked hint.  Only cache
+    // it when the server's leaf boundary agrees with our split — custom
+    // name syntaxes may disagree, and such a binding could not be reused.
+    const ipc::BindingHint hint = self_.last_binding_hint();
+    const SplitName split = split_dir_leaf(name);
+    // The server's boundary may sit ON the separator our split strips.
+    const std::size_t leaf_start = name.size() - split.leaf.size();
+    const bool boundary_agrees =
+        hint.consumed == leaf_start ||
+        (hint.consumed + 1 == leaf_start && name[hint.consumed] == '/');
+    if (hint.valid() && !split.dir.empty() && boundary_agrees) {
+      cache_->put(split.dir,
+                  NameCache::Binding{
+                      {ipc::ProcessId{hint.server_pid}, hint.context_id},
+                      hint.generation, hint.consumed,
+                      self_.last_origin_hint()});
+    }
+  }
+  co_return decode_open_reply(self_, reply);
+}
+
+sim::Co<Result<Rt::OpenedFile>> Rt::open_via_binding(
+    std::string_view name, std::uint16_t mode,
+    const NameCache::Binding& binding, SplitName split) {
+  co_await self_.compute(self_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kCreateInstance);
+  msg::cs::set_mode(request, mode);
+  msg::cs::set_name_length(request, static_cast<std::uint16_t>(name.size()));
+  // Address the cached final context directly, with the name index already
+  // past the directory part — the server interprets only the leaf — and
+  // demand the generation we learned the binding under.
+  msg::cs::set_name_index(
+      request, static_cast<std::uint16_t>(name.size() - split.leaf.size()));
+  msg::cs::set_context_id(request, binding.target.context);
+  msg::cs::set_expected_generation(request, binding.generation);
+  ipc::Segments segments;
+  segments.read = std::as_bytes(std::span(name.data(), name.size()));
+  const Message reply =
+      co_await self_.send(request, binding.target.server, segments);
+  observe_reply_hints();
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  // Refresh the entry from the reply hint: a create-mode open legitimately
+  // advanced the generation, and the next cached open must expect the new
+  // one.
+  const ipc::BindingHint hint = self_.last_binding_hint();
+  if (hint.valid()) {
+    cache_->put(split.dir,
+                NameCache::Binding{
+                    {ipc::ProcessId{hint.server_pid}, hint.context_id},
+                    hint.generation, hint.consumed, binding.origin});
+  }
+  co_return decode_open_reply(self_, reply);
+}
+
+sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
+                                                  std::uint16_t mode) {
+  if (cache_ != nullptr) {
+    const SplitName split = split_dir_leaf(name);
+    if (!split.dir.empty()) {
+      if (const auto hit = cache_->find(split.dir)) {
+#if V_TRACE_ENABLED
+        self_.domain().metrics().counter("namecache", "hits").inc();
+#endif
+        auto direct = co_await open_via_binding(name, mode, *hit, split);
+        const ReplyCode code = direct.ok() ? ReplyCode::kOk : direct.code();
+        if (code != ReplyCode::kStaleContext &&
+            code != ReplyCode::kInvalidContext &&
+            code != ReplyCode::kNoReply) {
+          // Success, or an authoritative negative from a validated binding.
+          co_return direct;
+        }
+        if (code == ReplyCode::kStaleContext) {
+          cache_->note_stale();
+#if V_TRACE_ENABLED
+          self_.domain().metrics().counter("namecache", "stale").inc();
+#endif
+        }
+        cache_->erase(split.dir);
+        cache_->note_fallback();
+#if V_TRACE_ENABLED
+        self_.domain().metrics().counter("namecache", "fallbacks").inc();
+#endif
+      } else {
+#if V_TRACE_ENABLED
+        self_.domain().metrics().counter("namecache", "misses").inc();
+#endif
+      }
+    }
+  }
+  co_return co_await open_resolved(name, mode);
+}
+
+sim::Co<Result<File>> Rt::open(std::string_view name, std::uint16_t mode) {
+  auto opened = co_await open_detailed(name, mode);
+  if (!opened.ok()) co_return opened.code();
+  co_return opened.take().file;
+}
 
 sim::Co<Result<File>> Rt::open_cached(NameCache& cache,
                                       std::string_view name,
                                       std::uint16_t mode) {
-  const SplitName split = split_dir_leaf(name);
-  if (!split.dir.empty()) {
-    const auto hit = cache.find(split.dir);
-#if V_TRACE_ENABLED
-    self_.domain()
-        .metrics()
-        .counter("client", hit ? "name_cache_hits" : "name_cache_misses")
-        .inc();
-#endif
-    if (hit) {
-      // Skip interpretation of the directory part: address the cached
-      // context directly with the leaf alone.
-      const naming::ContextPair saved = env_.current;
-      env_.current = *hit;
-      auto direct = co_await open_detailed(split.leaf, mode);
-      env_.current = saved;
-      if (direct.ok()) co_return direct.take().file;
-      if (direct.code() == ReplyCode::kInvalidContext ||
-          direct.code() == ReplyCode::kNoReply) {
-        cache.erase(split.dir);  // stale: fall through to a full walk
-      } else {
-        // Possibly a WRONG answer if the context id was silently reused —
-        // the inconsistency the paper warns about; we cannot detect it.
-        co_return direct.code();
-      }
-    }
-  }
-  auto full = co_await open_detailed(name, mode);
-  if (!full.ok()) co_return full.code();
-  auto opened = full.take();
-  if (!split.dir.empty() && opened.directory.valid()) {
-    cache.put(split.dir, opened.directory);
-  }
-  co_return opened.file;
+  NameCache* const saved = cache_;
+  set_cache(&cache);
+  auto opened = co_await open_detailed(name, mode);
+  set_cache(saved);
+  if (!opened.ok()) co_return opened.code();
+  co_return opened.take().file;
 }
 
 namespace {

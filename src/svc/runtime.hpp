@@ -55,6 +55,16 @@ class Rt {
   }
   [[nodiscard]] ipc::Process process() const noexcept { return self_; }
 
+  /// Attach (or detach, with nullptr) a validated name cache.  While a
+  /// cache is attached, `open` consults it: a warm hit goes straight to
+  /// the cached final server in ONE message transaction, validated by the
+  /// expected-generation check (PROTOCOL.md 11); refusals fall back to a
+  /// full resolution transparently.  Every hinted reply also feeds the
+  /// cache.  Detached (the default), the send paths are byte-for-byte the
+  /// uncached protocol.
+  void set_cache(NameCache* cache);
+  [[nodiscard]] NameCache* cache() const noexcept { return cache_; }
+
   // --- core routing ----------------------------------------------------------
 
   /// Send a CSname request carrying `name` (plus optional payload bytes
@@ -81,10 +91,11 @@ class Rt {
   [[nodiscard]] sim::Co<Result<OpenedFile>> open_detailed(
       std::string_view name, std::uint16_t mode);
 
-  /// Open with a client-side name cache (the section 2.2 ablation; see
-  /// svc/name_cache.hpp for the hazards).  Cache hits skip interpretation
-  /// of the directory part; kInvalidContext/kNoReply invalidate and retry
-  /// the full path.
+  /// Open with a temporarily-attached name cache: equivalent to
+  /// set_cache(&cache), open(name, mode), restore.  Kept as the
+  /// entry point of the section 2.2 caching study — now validated, so a
+  /// hit that outlived a mutation yields kStaleContext + re-resolution
+  /// instead of the silent wrong answers the paper warned about.
   [[nodiscard]] sim::Co<Result<File>> open_cached(NameCache& cache,
                                                   std::string_view name,
                                                   std::uint16_t mode);
@@ -163,10 +174,29 @@ class Rt {
       ipc::ProcessId server, io::InstanceId instance);
 
  private:
+  struct SplitName {
+    std::string_view dir;
+    std::string_view leaf;
+  };
+  static SplitName split_dir_leaf(std::string_view name);
   static std::string bracket(std::string_view prefix);
+
+  /// Full-resolution open (the pre-cache path); populates the cache from
+  /// the reply's binding hint when one is attached.
+  [[nodiscard]] sim::Co<Result<OpenedFile>> open_resolved(
+      std::string_view name, std::uint16_t mode);
+  /// One-hop open against a cached binding, validated by expected
+  /// generation.  kStaleContext/kInvalidContext/kNoReply mean the binding
+  /// must be dropped; any other outcome is authoritative.
+  [[nodiscard]] sim::Co<Result<OpenedFile>> open_via_binding(
+      std::string_view name, std::uint16_t mode,
+      const NameCache::Binding& binding, SplitName split);
+  /// Feed piggybacked binding/origin hints of the last reply to the cache.
+  void observe_reply_hints();
 
   ipc::Process self_;
   NameEnv env_;
+  NameCache* cache_ = nullptr;
 };
 
 }  // namespace v::svc

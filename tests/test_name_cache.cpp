@@ -1,7 +1,8 @@
 // Tests for the client name cache (the paper-section-2.2 ablation): the
 // mechanics of hit/miss/LRU, the latency benefit under reuse, the graceful
-// recovery from detectable staleness, and the SILENT WRONGNESS the paper
-// warns about when context ids are reused.
+// recovery from detectable staleness, and — since bindings are generation
+// validated — the DETECTION of the reused-context-id hazard that used to
+// produce silent wrong answers.
 #include <gtest/gtest.h>
 
 #include "naming/protocol.hpp"
@@ -17,23 +18,31 @@ using sim::kMillisecond;
 using svc::NameCache;
 using test::VFixture;
 
+NameCache::Binding binding(naming::ContextPair target,
+                           std::uint32_t generation = 1,
+                           std::uint16_t consumed = 0) {
+  return NameCache::Binding{target, generation, consumed, {}};
+}
+
 // --- unit mechanics -------------------------------------------------------------
 
 TEST(NameCacheUnit, HitMissAndCounters) {
   NameCache cache(8);
   const naming::ContextPair target{ipc::ProcessId::make(1, 2), 7};
   EXPECT_FALSE(cache.find("usr/mann").has_value());
-  cache.put("usr/mann", target);
+  cache.put("usr/mann", binding(target, 42, 9));
   auto hit = cache.find("usr/mann");
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(*hit, target);
+  EXPECT_EQ(hit->target, target);
+  EXPECT_EQ(hit->generation, 42u);
+  EXPECT_EQ(hit->consumed, 9u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(NameCacheUnit, LruEvictionAtCapacity) {
   NameCache cache(3);
-  const naming::ContextPair t{ipc::ProcessId::make(1, 1), 0};
+  const auto t = binding({ipc::ProcessId::make(1, 1), 0});
   cache.put("a", t);
   cache.put("b", t);
   cache.put("c", t);
@@ -48,11 +57,32 @@ TEST(NameCacheUnit, LruEvictionAtCapacity) {
 
 TEST(NameCacheUnit, EraseCountsInvalidations) {
   NameCache cache(4);
-  cache.put("x", {ipc::ProcessId::make(1, 1), 0});
+  cache.put("x", binding({ipc::ProcessId::make(1, 1), 0}));
   cache.erase("x");
   cache.erase("x");  // second erase of a missing entry is a no-op
   EXPECT_EQ(cache.invalidations(), 1u);
   EXPECT_FALSE(cache.find("x").has_value());
+}
+
+TEST(NameCacheUnit, NewerOriginGenerationSweepsDependents) {
+  NameCache cache(8);
+  const ipc::BindingHint prefix_gen5{/*server_pid=*/77, /*context_id=*/0,
+                                     /*generation=*/5, /*consumed=*/0};
+  auto via_prefix = binding({ipc::ProcessId::make(1, 2), 3}, 10, 7);
+  via_prefix.origin = prefix_gen5;
+  cache.put("[home]src", via_prefix);
+  cache.put("usr/mann", binding({ipc::ProcessId::make(1, 2), 4}, 11, 9));
+
+  // Observing the same generation again changes nothing.
+  cache.observe_origin(prefix_gen5);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // A newer generation of the prefix table drops the entry that was
+  // resolved through it — and only that one.
+  cache.observe_origin(ipc::BindingHint{77, 0, 6, 0});
+  EXPECT_FALSE(cache.find("[home]src").has_value());
+  EXPECT_TRUE(cache.find("usr/mann").has_value());
+  EXPECT_EQ(cache.invalidations(), 1u);
 }
 
 // --- behaviour through the protocol ---------------------------------------------
@@ -82,7 +112,8 @@ TEST(NameCacheRt, ReusedDirectoryHitsSkipInterpretation) {
       EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
     }
     EXPECT_EQ(cache.hits(), 1u);
-    EXPECT_LT(warm, cold);  // fewer components interpreted
+    EXPECT_EQ(cache.stale(), 0u);  // generation still current: validated hit
+    EXPECT_LT(warm, cold);         // fewer components interpreted
   });
 }
 
@@ -114,8 +145,6 @@ TEST(NameCacheRt, WorksAcrossPrefixesAndLinks) {
 
 TEST(NameCacheRt, DeadServerEntryInvalidatesAndRecovers) {
   VFixture fx;
-  // beta will die; [storage] logically names alpha via the service id, so
-  // the full walk recovers.
   fx.dom.loop().schedule_at(50 * kMillisecond, [&fx] { fx.fs2.crash(); });
   fx.run_client([&fx](ipc::Process self, svc::Rt rt) -> Co<void> {
     NameCache cache;
@@ -133,19 +162,23 @@ TEST(NameCacheRt, DeadServerEntryInvalidatesAndRecovers) {
                                           kOpenRead);
     EXPECT_FALSE(second.ok());
     EXPECT_EQ(cache.invalidations(), 1u);
+    EXPECT_EQ(cache.fallbacks(), 1u);
     EXPECT_EQ(cache.size(), 0u);
   });
 }
 
-TEST(NameCacheRt, SilentWrongAnswerWhenContextIdReused) {
-  // THE inconsistency of paper section 2.2, demonstrated: a restarted
-  // server hands out the same context ids for a DIFFERENT directory tree;
-  // cached resolutions now name the wrong objects and nothing detects it.
+TEST(NameCacheRt, ReusedContextIdDetectedByGeneration) {
+  // THE inconsistency of paper section 2.2: a restarted server hands out
+  // the same context ids for a DIFFERENT directory tree.  The unvalidated
+  // cache served the impostor's bytes with no error anywhere; with
+  // generation-stamped bindings the impostor's contexts carry generations
+  // from a fresh domain-wide floor, so the cached open is REFUSED with
+  // kStaleContext instead of being misinterpreted.
   VFixture fx;
   servers::FileServer impostor("alpha-v2", servers::DiskModel::kMemory,
                                /*register_service=*/false);
-  // Same shape, different content: inode/context ids will coincide with
-  // the original alpha's because allocation is deterministic.
+  // Same shape, different content: inode/context ids coincide with the
+  // original alpha's because allocation is deterministic.
   impostor.put_file("usr/mann/naming.mss", "IMPOSTOR CONTENT");
   impostor.put_file("usr/mann/paper.mss", "IMPOSTOR CONTENT");
   ipc::ProcessId impostor_pid;
@@ -161,9 +194,8 @@ TEST(NameCacheRt, SilentWrongAnswerWhenContextIdReused) {
     }
     // alpha's host crashes; a different file server reappears there.  To
     // model pid reuse (spatially unique, NOT unique in time — section
-    // 4.1), the client's stale cache entry is rewritten to the impostor's
-    // pid with the SAME context id, as would happen if the pid were
-    // recycled.
+    // 4.1), the client's cache entry is rewritten to the impostor's pid,
+    // keeping the context id and generation it learned from the original.
     fx.fs1.crash();
     fx.fs1.restart();
     impostor_pid = fx.fs1.spawn(
@@ -172,15 +204,31 @@ TEST(NameCacheRt, SilentWrongAnswerWhenContextIdReused) {
     auto stale = cache.find("usr/mann");
     EXPECT_TRUE(stale.has_value());
     if (!stale.has_value()) co_return;
-    cache.put("usr/mann", {impostor_pid, stale->context});
+    auto rewritten = *stale;
+    rewritten.target.server = impostor_pid;
+    cache.put("usr/mann", rewritten);
 
-    // The cached open SUCCEEDS — and silently returns the impostor's
-    // bytes.  No error surfaces anywhere.
-    auto wrong = co_await rt.open_cached(cache, "usr/mann/naming.mss",
-                                         kOpenRead);
-    EXPECT_TRUE(wrong.ok());
-    if (!wrong.ok()) co_return;
-    svc::File f = wrong.take();
+    // The impostor holds a valid context with the SAME id, but its
+    // generation comes from a fresh incarnation floor: the cached open is
+    // refused (kStaleContext), the entry dropped, and the fallback walk —
+    // aimed at the dead original server — reports failure loudly instead
+    // of handing back the impostor's bytes.
+    auto refused = co_await rt.open_cached(cache, "usr/mann/naming.mss",
+                                           kOpenRead);
+    EXPECT_FALSE(refused.ok());
+    EXPECT_EQ(cache.stale(), 1u);
+    EXPECT_EQ(cache.fallbacks(), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Once the client legitimately adopts the new server as its current
+    // context, resolution works and the cache re-learns a binding under
+    // the impostor's own generation — subsequent hits validate cleanly.
+    rt.set_current({impostor_pid, naming::kDefaultContext});
+    auto adopted = co_await rt.open_cached(cache, "usr/mann/naming.mss",
+                                           kOpenRead);
+    EXPECT_TRUE(adopted.ok());
+    if (!adopted.ok()) co_return;
+    svc::File f = adopted.take();
     auto bytes = co_await f.read_all();
     EXPECT_TRUE(bytes.ok());
     if (bytes.ok()) {
@@ -190,6 +238,17 @@ TEST(NameCacheRt, SilentWrongAnswerWhenContextIdReused) {
                 "IMPOSTOR CONTENT");
     }
     EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    auto warm = co_await rt.open_cached(cache, "usr/mann/paper.mss",
+                                        kOpenRead);
+    EXPECT_TRUE(warm.ok());
+    if (warm.ok()) {
+      svc::File g = warm.take();
+      EXPECT_EQ(co_await g.close(), ReplyCode::kOk);
+    }
+    // Three hits: the manual lookup, the refused open, the validated warm
+    // open of the sibling.  Exactly one refusal ever happened.
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_EQ(cache.stale(), 1u);
   });
 }
 
