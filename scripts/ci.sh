@@ -13,6 +13,9 @@
 #                          # has no obs symbols and identical bench numbers
 #   scripts/ci.sh bench-smoke  # run every bench with --json and validate
 #                          # each report against the JsonReport schema
+#   scripts/ci.sh fault    # V-fault: 16-seed chaos matrix, recovery bench,
+#                          # then prove the V_FAULT=OFF build has no fault
+#                          # symbols and identical E1-E6 bench numbers
 #   scripts/ci.sh all      # everything, in the order above
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -105,6 +108,7 @@ run_bench_smoke() {
     bench_open_matrix bench_prefix_server bench_forwarding
     bench_context_directory bench_naming_models bench_group_send
     bench_name_cache bench_cached_open bench_server_team
+    bench_fault_recovery
   )
   for b in "${benches[@]}"; do
     cmake --build --preset default -j "$(nproc)" --target "$b"
@@ -129,6 +133,60 @@ strip_host_timing() {
   sed -E 's/, "host_repeats": [0-9]+, "host_median_ms": [0-9.]+//' "$1"
 }
 
+run_fault() {
+  echo "==> fault (chaos matrix + recovery bench)"
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target \
+    test_fault test_fault_matrix test_crash_replies bench_fault_recovery
+  # The loss-rate x crash-schedule x 16-seed chaos sweep, with the race
+  # detector and protocol lint watching (the default build has V_CHECKS=ON).
+  # Failures print a one-command repro line (V_FUZZ_SEED=0x... ...).
+  V_FUZZ_SEEDS=16 ./build/tests/test_fault_matrix
+  ./build/tests/test_fault
+  ./build/tests/test_crash_replies
+  echo "==> fault recovery bench"
+  ./build/bench/bench_fault_recovery --json /tmp/bench_fault.json >/dev/null
+  python3 scripts/check_bench_json.py /tmp/bench_fault.json
+  # The checked-in report must regenerate identically (host timing fields
+  # are the one legitimately machine-dependent part).
+  strip_host_timing BENCH_fault_recovery.json >/tmp/fault_ref.json
+  strip_host_timing /tmp/bench_fault.json >/tmp/fault_new.json
+  diff /tmp/fault_ref.json /tmp/fault_new.json
+
+  echo "==> fault-off (V_FAULT=OFF build)"
+  run_preset fault-off
+  echo "==> fault-off symbol check"
+  # Zero-cost-when-disabled means compiled OUT, not stubbed: no v::fault::
+  # symbol may survive in a linked test binary.
+  if nm -C build-fault-off/tests/test_integration | grep -q 'v::fault::'; then
+    echo "FAIL: v::fault:: symbols present in V_FAULT=OFF binary" >&2
+    nm -C build-fault-off/tests/test_integration | grep 'v::fault::' | head >&2
+    exit 1
+  fi
+  echo "==> fault-off bench regression check"
+  # Reliability must be free when unused: with no FaultPlan installed, the
+  # fault-aware kernel must produce the exact same numbers as a build that
+  # never heard of faults, for every headline experiment.
+  local benches=(
+    bench_ipc_transaction bench_bulk_transfer bench_stream_read
+    bench_open_matrix bench_prefix_server bench_forwarding
+    bench_cached_open
+  )
+  for b in "${benches[@]}"; do
+    cmake --build --preset default -j "$(nproc)" --target "$b"
+    "./build/bench/$b" --json "/tmp/fault_on_$b.json" >/dev/null
+    "./build-fault-off/bench/$b" --json "/tmp/fault_off_$b.json" >/dev/null
+    strip_host_timing "/tmp/fault_on_$b.json" >"/tmp/fault_on_$b.stripped"
+    strip_host_timing "/tmp/fault_off_$b.json" >"/tmp/fault_off_$b.stripped"
+    diff "/tmp/fault_on_$b.stripped" "/tmp/fault_off_$b.stripped"
+  done
+  # The recovery bench still runs (baseline row only) without the subsystem.
+  ./build-fault-off/bench/bench_fault_recovery \
+    --json /tmp/bench_fault_off.json >/dev/null
+  python3 scripts/check_bench_json.py /tmp/bench_fault_off.json
+  echo "fault OK"
+}
+
 case "${1:-default}" in
   default) run_preset default ;;
   asan)    run_preset asan ;;
@@ -137,9 +195,10 @@ case "${1:-default}" in
   chk-off) run_chk_off ;;
   trace)   run_trace ;;
   bench-smoke) run_bench_smoke ;;
+  fault)   run_fault ;;
   all)     run_preset default; run_preset asan; run_lint; run_fuzz
-           run_chk_off; run_trace; run_bench_smoke ;;
-  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|bench-smoke|all]" >&2
+           run_chk_off; run_trace; run_bench_smoke; run_fault ;;
+  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|bench-smoke|fault|all]" >&2
      exit 2 ;;
 esac
 echo "CI OK"

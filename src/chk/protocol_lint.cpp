@@ -78,17 +78,54 @@ std::string decode_message(const msg::Message& m) {
 
 void ProtocolLint::register_server(std::uint32_t pid, std::string label,
                                    std::function<bool(std::uint32_t)>
-                                       ctx_valid) {
+                                       ctx_valid,
+                                   std::uint32_t gen_floor) {
+  // Incarnation invariant (V-fault): generations are domain-monotone, so a
+  // later incarnation of the same service must start above every floor it
+  // registered before — otherwise bindings cached against the previous
+  // incarnation would not be invalidated by the generation check.
+  if (gen_floor != 0) {
+    auto& floor = incarnation_floor_[label];
+    if (gen_floor <= floor) {
+      ++counters_.stale_incarnations;
+      std::ostringstream out;
+      out << "protocol lint: stale incarnation of server '" << label
+          << "' (pid " << pid << "): generation floor " << gen_floor
+          << " does not exceed previous floor " << floor << "\n";
+      record_dump(out.str());
+    } else {
+      floor = gen_floor;
+    }
+  }
   servers_[pid] = ServerInfo{std::move(label), std::move(ctx_valid)};
 }
 
-void ProtocolLint::register_worker(std::uint32_t pid, std::string label) {
-  workers_[pid] = std::move(label);
+void ProtocolLint::register_worker(std::uint32_t pid, std::string label,
+                                   std::uint32_t server_pid) {
+  workers_[pid] = WorkerInfo{std::move(label), server_pid};
 }
 
 void ProtocolLint::forget(std::uint32_t pid) {
   servers_.erase(pid);
   workers_.erase(pid);
+  std::erase_if(outstanding_,
+                [pid](const auto& kv) { return kv.first.first == pid; });
+}
+
+void ProtocolLint::settle(std::uint32_t server_pid,
+                          std::uint32_t client_pid) {
+  auto it = outstanding_.find({server_pid, client_pid});
+  if (it != outstanding_.end() && it->second > 0) --it->second;
+}
+
+void ProtocolLint::note_forwarded(std::uint32_t server_pid,
+                                  std::uint32_t client_pid) {
+  settle(server_pid, client_pid);
+}
+
+void ProtocolLint::note_unanswered(std::uint32_t server_pid,
+                                   std::uint32_t client_pid) {
+  settle(server_pid, client_pid);
 }
 
 void ProtocolLint::record_dump(std::string dump) {
@@ -154,7 +191,8 @@ std::optional<ReplyCode> ProtocolLint::check_request(
     // set, or a generation value without its flag, betray a client writing
     // garbage into header space it does not understand.
     const std::uint8_t flags = msg::cs::cs_flags(request);
-    if ((flags & ~msg::cs::kFlagExpectGen) != 0) {
+    if ((flags &
+         ~(msg::cs::kFlagExpectGen | msg::cs::kFlagRecoveryProbe)) != 0) {
       return reject("unknown CSname header flag bits");
     }
     if ((flags & msg::cs::kFlagExpectGen) == 0 &&
@@ -162,6 +200,10 @@ std::optional<ReplyCode> ProtocolLint::check_request(
       return reject("expected-generation bytes set without the flag");
     }
   }
+  // Duplicate-reply invariant (V-fault): the request is about to be
+  // delivered, so the server owes this client exactly one settlement —
+  // a reply, a forward, or deliberate probe silence.
+  ++outstanding_[{dest_pid, sender_pid}];
   return std::nullopt;
 }
 
@@ -169,14 +211,33 @@ void ProtocolLint::check_reply(const msg::Message& reply,
                                std::uint32_t from_pid, std::uint32_t to_pid,
                                std::uint64_t now) {
   std::string_view label;
+  std::uint32_t canonical = from_pid;  // receptionist owning the ledger
   if (const auto s = servers_.find(from_pid); s != servers_.end()) {
     label = s->second.label;
   } else if (const auto w = workers_.find(from_pid); w != workers_.end()) {
-    label = w->second;
+    label = w->second.label;
+    if (w->second.server_pid != 0) canonical = w->second.server_pid;
   } else {
     return;
   }
   ++counters_.replies_checked;
+
+  // Duplicate-reply invariant (V-fault): a reply with nothing outstanding
+  // means the server answered the same request twice (or invented one) —
+  // under duplicated/reordered requests that is exactly the at-most-once
+  // property breaking.
+  auto out_it = outstanding_.find({canonical, to_pid});
+  if (out_it == outstanding_.end() || out_it->second == 0) {
+    ++counters_.duplicate_replies;
+    std::ostringstream dup;
+    dup << "protocol lint: duplicate reply from server process '" << label
+        << "' (pid " << from_pid << ") to pid " << to_pid << " at t=" << now
+        << ": no request outstanding\n"
+        << decode_message(reply);
+    record_dump(dup.str());
+  } else {
+    --out_it->second;
+  }
 
   // Invariant 6 (section 3.2): every reply begins with a standard reply
   // code.  A registered server emitting a code outside the set is

@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/reply_codes.hpp"
 #include "msg/message.hpp"
@@ -61,19 +62,40 @@ class ProtocolLint {
     std::uint64_t server_violations = 0;
     std::uint64_t stale_context_forwards = 0;
     std::uint64_t invalid_context_requests = 0;
+    /// A registered server replied to a client with no request outstanding
+    /// at that server — an at-most-once violation (V-fault invariant).
+    std::uint64_t duplicate_replies = 0;
+    /// A server re-registered under a label with a generation floor no
+    /// higher than its previous incarnation's — cached bindings from the
+    /// old incarnation would not be invalidated (V-fault invariant).
+    std::uint64_t stale_incarnations = 0;
   };
 
   /// Register a CSNH server's receptionist pid.  `ctx_valid` answers
   /// whether a raw context id resolves on that server (used for the
-  /// resolvability statistic only).
+  /// resolvability statistic only).  `gen_floor`, when nonzero, is the
+  /// incarnation's generation floor: it must exceed every floor previously
+  /// registered under the same label (see Counters::stale_incarnations).
   void register_server(std::uint32_t pid, std::string label,
-                       std::function<bool(std::uint32_t)> ctx_valid);
+                       std::function<bool(std::uint32_t)> ctx_valid,
+                       std::uint32_t gen_floor = 0);
 
   /// Register a worker pid as part of a registered server's team, so its
-  /// replies are held to the server-conformance checks.
-  void register_worker(std::uint32_t pid, std::string label);
+  /// replies are held to the server-conformance checks.  `server_pid`
+  /// names the receptionist whose outstanding-request ledger the worker's
+  /// replies settle (0 = the worker settles its own).
+  void register_worker(std::uint32_t pid, std::string label,
+                       std::uint32_t server_pid = 0);
 
   void forget(std::uint32_t pid);
+
+  /// The server holding `client`'s request forwarded it on: it will never
+  /// reply itself, so settle its outstanding-request entry.
+  void note_forwarded(std::uint32_t server_pid, std::uint32_t client_pid);
+
+  /// The server deliberately answered `client` with silence (a recovery
+  /// probe it cannot serve): settle the entry without a reply.
+  void note_unanswered(std::uint32_t server_pid, std::uint32_t client_pid);
 
   /// Validate a request about to be delivered to `dest`.  Returns the
   /// reply code to synthesize to the sender when the message is malformed
@@ -102,11 +124,22 @@ class ProtocolLint {
     std::string label;
     std::function<bool(std::uint32_t)> ctx_valid;
   };
+  struct WorkerInfo {
+    std::string label;
+    std::uint32_t server_pid = 0;
+  };
 
   void record_dump(std::string dump);
+  void settle(std::uint32_t server_pid, std::uint32_t client_pid);
 
   std::map<std::uint32_t, ServerInfo> servers_;
-  std::map<std::uint32_t, std::string> workers_;
+  std::map<std::uint32_t, WorkerInfo> workers_;
+  /// (server receptionist pid, client pid) -> requests delivered but not
+  /// yet replied / forwarded / deliberately left unanswered.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      outstanding_;
+  /// Highest generation floor registered per server label.
+  std::map<std::string, std::uint32_t> incarnation_floor_;
   Counters counters_;
   std::string first_dump_;
 };
@@ -124,6 +157,8 @@ class ProtocolLint {
     std::uint64_t server_violations = 0;
     std::uint64_t stale_context_forwards = 0;
     std::uint64_t invalid_context_requests = 0;
+    std::uint64_t duplicate_replies = 0;
+    std::uint64_t stale_incarnations = 0;
   };
 
   // Variadic templates: call sites pay nothing (no std::function, no
@@ -133,6 +168,8 @@ class ProtocolLint {
   template <typename... Args>
   void register_worker(Args&&...) noexcept {}
   void forget(std::uint32_t) noexcept {}
+  void note_forwarded(std::uint32_t, std::uint32_t) noexcept {}
+  void note_unanswered(std::uint32_t, std::uint32_t) noexcept {}
 
   [[nodiscard]] std::optional<v::ReplyCode> check_request(
       const msg::Message&, std::uint32_t, std::size_t, std::uint32_t,

@@ -44,7 +44,8 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
   ++rec.send_seq;
   ++domain_->stats_.messages_sent;
   if (!dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  Envelope env{pid_, request, segments, {}, {}};
+  Envelope env{pid_, request, segments, {}, {},
+               static_cast<std::uint32_t>(rec.send_seq), {}};
 #if V_TRACE_ENABLED
   if (auto& tr = domain_->tracer(); tr.active()) {
     env.trace.trace_id = tr.begin_trace();
@@ -55,6 +56,16 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
     tr.set_process_label(pid_.raw, rec.name);
     tr.note_send(pid_.raw, root);
     env.trace.parent_span = root;
+  }
+#endif
+#if V_FAULT_ENABLED
+  // Reliable transactions: every send is covered, even when the FIRST hop
+  // is local (never faulted) — the receptionist may forward the request
+  // across the wire, and the lost forward or lost reply is then masked by
+  // retransmitting to the first hop, whose duplicate table re-drives the
+  // stored forward.
+  if (domain_->fault_active()) {
+    domain_->arm_retransmit(env, dest, rec.send_seq);
   }
 #endif
   domain_->deliver(host_id(), std::move(env), dest);
@@ -72,7 +83,8 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
   rec.exposed = segments;
   const auto seq = ++rec.send_seq;
 
-  Envelope proto{pid_, request, segments, {}, {}};
+  Envelope proto{pid_, request, segments, {}, {},
+                 static_cast<std::uint32_t>(seq), {}};
 #if V_TRACE_ENABLED
   if (auto& tr = domain_->tracer(); tr.active()) {
     proto.trace.trace_id = tr.begin_trace();
@@ -143,19 +155,36 @@ void Process::forward(const Envelope& env, ProcessId new_dest) {
   ++domain_->stats_.forwards;
   ++domain_->stats_.messages_sent;
   if (!new_dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  Envelope fwd{env.sender, env.request, env.segments, env.trace, env.origin};
+  // The forwarder will never reply to this request itself: settle its
+  // outstanding-request ledger entry (duplicate-reply invariant).
+  domain_->lint_.note_forwarded(env.addressed.raw, env.sender.raw);
+  Envelope fwd{env.sender, env.request, env.segments, env.trace, env.origin,
+               env.txn_seq, env.addressed};
+#if V_FAULT_ENABLED
+  if (domain_->fault_active()) {
+    domain_->note_forward(fwd, new_dest, /*group=*/0);
+  }
+#endif
   domain_->deliver(host_id(), std::move(fwd), new_dest);
 }
 
 void Process::forward_to_group(const Envelope& env, GroupId group) {
   ++domain_->stats_.forwards;
+  domain_->lint_.note_forwarded(env.addressed.raw, env.sender.raw);
+#if V_FAULT_ENABLED
+  if (domain_->fault_active()) {
+    Envelope noted{env.sender, env.request, env.segments, env.trace,
+                   env.origin, env.txn_seq, env.addressed};
+    domain_->note_forward(noted, ProcessId::invalid(), group);
+  }
+#endif
   std::size_t delivered = 0;
   auto it = domain_->groups_.find(group);
   if (it != domain_->groups_.end()) {
     for (ProcessId member : it->second) {
       if (!domain_->process_alive(member)) continue;
       Envelope fwd{env.sender, env.request, env.segments, env.trace,
-                   env.origin};
+                   env.origin, env.txn_seq, env.addressed};
       domain_->deliver(host_id(), std::move(fwd),
                        member, /*synth_on_dead=*/false);
       ++domain_->stats_.messages_sent;
@@ -320,6 +349,8 @@ std::vector<ProcessId> Host::spawn_team(
 void Host::crash() {
   if (!alive_) return;
   alive_ = false;
+  paused_ = false;
+  stash_.clear();  // packets queued behind a pause die with the host
   services_.clear();
   for (auto& rec : domain_.records_) {
     if (rec->host == this && rec->alive) domain_.kill_process(*rec);
@@ -337,6 +368,23 @@ void Host::crash() {
 void Host::restart() {
   V_CHECK(!alive_);
   alive_ = true;
+}
+
+void Host::pause() {
+  if (!alive_) return;
+  paused_ = true;
+}
+
+void Host::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  // Flush in arrival order; each packet lands via a fresh zero-delay event
+  // so its guards (staleness, duplicate suppression) run at resume time.
+  auto stash = std::move(stash_);
+  stash_.clear();
+  for (auto& packet : stash) {
+    domain_.loop().schedule_after(0, std::move(packet));
+  }
 }
 
 void Host::register_service(ServiceId service, ProcessId pid, Scope scope) {
@@ -467,40 +515,92 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest) {
 void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
                      bool synth_on_dead) {
   const bool local = dest.local_to(from_host);
-  loop_.schedule_after(
-      params_.hop(local),
-      [this, env = std::move(env), dest, synth_on_dead]() mutable {
-        auto* rec = find(dest);
-        if (rec == nullptr || !rec->alive) {
-          if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
-          return;
-        }
-        // Protocol lint (V-check layer 2): validate the header invariants
-        // before the server ever sees the message.  Malformed requests are
-        // rejected here with a synthesized error reply, exactly as a
-        // conformant server would answer, plus a decoded dump for triage.
-        if (const auto reject = lint_.check_request(
-                env.request, env.sender.raw, env.segments.read.size(),
-                dest.raw, static_cast<std::uint64_t>(loop_.now()))) {
-          synth_reply(env.sender, *reject);
-          return;
-        }
-        // Track where the blocked sender's request currently lives so crash
-        // sweeps can find it (updated again on each forward delivery).
-        if (auto* sender = find(env.sender); sender != nullptr) {
-          sender->blocked_on = dest;
-        }
-#if V_TRACE_ENABLED
-        // Queue-wait measurement starts the moment the message lands in the
-        // receiver's mailbox (the hop delay itself is not queue time).
-        if (env.trace.trace_id != 0) env.trace.enqueued_at = loop_.now();
+  sim::SimDuration hop = params_.hop(local);
+#if V_FAULT_ENABLED
+  // Link faults apply to remote packets only: local IPC never crosses the
+  // wire (and MoveFrom/MoveTo model bulk transfer separately).
+  if (fault_plan_ != nullptr && !local) {
+    const fault::PacketDecision verdict =
+        fault_plan_->on_packet(from_host, dest.logical_host());
+    if (verdict.duplicate) {
+      // The duplicate copy never synthesizes kNoReply: it is extra traffic,
+      // not the transaction's packet of record.
+      Envelope copy = env;
+      loop_.schedule_after(
+          hop + verdict.extra_delay + verdict.dup_delay,
+          [this, copy = std::move(copy), dest]() mutable {
+            arrive(std::move(copy), dest, /*synth_on_dead=*/false);
+          });
+    }
+    if (verdict.drop) return;  // retransmission masks the loss
+    hop += verdict.extra_delay;
+  }
 #endif
-        rec->mailbox.push_back(std::move(env));
-        if (rec->waiting_receive && rec->recv_waker.armed()) {
-          rec->waiting_receive = false;
-          rec->recv_waker.wake(loop_);
-        }
+  loop_.schedule_after(
+      hop, [this, env = std::move(env), dest, synth_on_dead]() mutable {
+        arrive(std::move(env), dest, synth_on_dead);
       });
+}
+
+void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
+  auto* rec = find(dest);
+#if V_FAULT_ENABLED
+  // A paused host neither accepts nor loses packets: they queue until
+  // resume() and land through this same gate (so all guards re-run then).
+  if (rec != nullptr && rec->host != nullptr && rec->host->paused_) {
+    rec->host->stash_.push_back(
+        [this, env = std::move(env), dest, synth_on_dead]() mutable {
+          arrive(std::move(env), dest, synth_on_dead);
+        });
+    return;
+  }
+#endif
+  if (rec == nullptr || !rec->alive) {
+    if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
+    return;
+  }
+#if V_FAULT_ENABLED
+  if (fault_plan_ != nullptr) {
+    // Transaction staleness: if the sender has moved past this transaction
+    // (answered by a retransmit, or gave up), the copy answers nothing —
+    // processing it could only produce a reply no one is waiting for.
+    if (auto* sender = find(env.sender);
+        sender != nullptr &&
+        (!sender->awaiting_reply ||
+         static_cast<std::uint32_t>(sender->send_seq) != env.txn_seq)) {
+      return;
+    }
+    // At-most-once: a duplicate of a transaction this server has already
+    // seen is suppressed, re-driven or replayed — never re-executed.
+    if (suppress_duplicate(*rec, env)) return;
+  }
+#endif
+  // Protocol lint (V-check layer 2): validate the header invariants
+  // before the server ever sees the message.  Malformed requests are
+  // rejected here with a synthesized error reply, exactly as a
+  // conformant server would answer, plus a decoded dump for triage.
+  if (const auto reject = lint_.check_request(
+          env.request, env.sender.raw, env.segments.read.size(), dest.raw,
+          static_cast<std::uint64_t>(loop_.now()))) {
+    synth_reply(env.sender, *reject);
+    return;
+  }
+  // Track where the blocked sender's request currently lives so crash
+  // sweeps can find it (updated again on each forward delivery).
+  if (auto* sender = find(env.sender); sender != nullptr) {
+    sender->blocked_on = dest;
+  }
+#if V_TRACE_ENABLED
+  // Queue-wait measurement starts the moment the message lands in the
+  // receiver's mailbox (the hop delay itself is not queue time).
+  if (env.trace.trace_id != 0) env.trace.enqueued_at = loop_.now();
+#endif
+  env.addressed = dest;
+  rec->mailbox.push_back(std::move(env));
+  if (rec->waiting_receive && rec->recv_waker.armed()) {
+    rec->waiting_receive = false;
+    rec->recv_waker.wake(loop_);
+  }
 }
 
 void Domain::deliver_reply(HostId from_host, msg::Message reply,
@@ -511,10 +611,68 @@ void Domain::deliver_reply(HostId from_host, msg::Message reply,
   // standard reply code.  Violations are recorded but still delivered.
   lint_.check_reply(reply, from.raw, to.raw,
                     static_cast<std::uint64_t>(loop_.now()));
+  std::uint32_t answered_seq = 0;
+#if V_FAULT_ENABLED
+  if (fault_plan_ != nullptr) {
+    // Close the transaction slot this reply answers, caching the reply so
+    // duplicate requests replay it instead of re-executing.
+    answered_seq = record_served_reply(to, reply, hint, origin);
+  }
+#endif
+  send_reply_packet(from_host, reply, to, hint, origin, answered_seq);
+}
+
+void Domain::send_reply_packet(HostId from_host, const msg::Message& reply,
+                               ProcessId to, const BindingHint& hint,
+                               const BindingHint& origin,
+                               std::uint32_t answered_seq) {
   const bool local = to.local_to(from_host);
-  loop_.schedule_after(params_.hop(local), [this, reply, to, hint, origin] {
-    complete_reply(to, reply, hint, origin);
+  sim::SimDuration hop = params_.hop(local);
+#if V_FAULT_ENABLED
+  if (fault_plan_ != nullptr && !local) {
+    const fault::PacketDecision verdict =
+        fault_plan_->on_packet(from_host, to.logical_host());
+    if (verdict.duplicate) {
+      loop_.schedule_after(
+          hop + verdict.extra_delay + verdict.dup_delay,
+          [this, reply, to, hint, origin, answered_seq] {
+            arrive_reply(to, reply, hint, origin, answered_seq);
+          });
+    }
+    if (verdict.drop) return;  // the client's retransmit re-earns the reply
+    hop += verdict.extra_delay;
+  }
+#endif
+  loop_.schedule_after(hop, [this, reply, to, hint, origin, answered_seq] {
+    arrive_reply(to, reply, hint, origin, answered_seq);
   });
+}
+
+void Domain::arrive_reply(ProcessId to, const msg::Message& reply,
+                          const BindingHint& hint, const BindingHint& origin,
+                          std::uint32_t answered_seq) {
+#if V_FAULT_ENABLED
+  auto* rec = find(to);
+  if (rec != nullptr && rec->host != nullptr && rec->host->paused_) {
+    rec->host->stash_.push_back([this, to, reply, hint, origin,
+                                 answered_seq] {
+      arrive_reply(to, reply, hint, origin, answered_seq);
+    });
+    return;
+  }
+  // A tracked reply must answer the sender's CURRENT transaction: a late
+  // copy of an earlier transaction's reply (duplicated in flight, or the
+  // client already gave up and moved on) must not complete a newer send.
+  if (answered_seq != 0 &&
+      (rec == nullptr ||
+       static_cast<std::uint32_t>(rec->send_seq) != answered_seq)) {
+    if (fault_plan_ != nullptr) {
+      ++fault_plan_->stats().stale_replies_dropped;
+    }
+    return;
+  }
+#endif
+  complete_reply(to, reply, hint, origin);
 }
 
 void Domain::synth_reply(ProcessId to, ReplyCode code) {
@@ -544,6 +702,215 @@ void Domain::complete_reply(ProcessId to, const msg::Message& reply,
 #endif
   if (rec->reply_waker.armed()) rec->reply_waker.wake(loop_);
 }
+
+#if V_FAULT_ENABLED
+
+void Domain::install_faults(fault::FaultPlan& plan) {
+  fault_plan_ = &plan;
+  for (const auto& ev : plan.events()) {
+    const std::uint16_t host_idx = ev.host;
+    const fault::HostEvent::Kind kind = ev.kind;
+    loop_.schedule_at(ev.at, [this, host_idx, kind, then = ev.then] {
+      if (fault_plan_ == nullptr) return;
+      if (host_idx < 1 || host_idx > hosts_.size()) return;
+      Host& host = *hosts_[host_idx - 1];
+      auto& fs = fault_plan_->stats();
+      switch (kind) {
+        case fault::HostEvent::Kind::kCrash:
+          if (host.alive()) {
+            host.crash();
+            ++fs.crashes;
+          }
+          break;
+        case fault::HostEvent::Kind::kRestart:
+          if (!host.alive()) {
+            host.restart();
+            ++fs.restarts;
+          }
+          break;
+        case fault::HostEvent::Kind::kPause:
+          if (host.alive() && !host.paused()) {
+            host.pause();
+            ++fs.pauses;
+          }
+          break;
+        case fault::HostEvent::Kind::kResume:
+          if (host.paused()) {
+            host.resume();
+            ++fs.resumes;
+          }
+          break;
+      }
+      if (then) then();
+    });
+  }
+#if V_TRACE_ENABLED
+  if (!fault_metrics_registered_) {
+    fault_metrics_registered_ = true;
+    auto mirror = [this](const char* name,
+                         std::uint64_t fault::FaultStats::*field) {
+      metrics_.register_callback("fault", name, [this, field] {
+        return fault_plan_ != nullptr
+                   ? static_cast<double>(fault_plan_->stats().*field)
+                   : 0.0;
+      });
+    };
+    mirror("packets_seen", &fault::FaultStats::packets_seen);
+    mirror("drops", &fault::FaultStats::drops);
+    mirror("duplicates", &fault::FaultStats::duplicates);
+    mirror("reorders", &fault::FaultStats::reorders);
+    mirror("crashes", &fault::FaultStats::crashes);
+    mirror("restarts", &fault::FaultStats::restarts);
+    mirror("pauses", &fault::FaultStats::pauses);
+    mirror("resumes", &fault::FaultStats::resumes);
+    mirror("retransmits", &fault::FaultStats::retransmits);
+    mirror("budget_exhausted", &fault::FaultStats::budget_exhausted);
+    mirror("dup_requests_suppressed",
+           &fault::FaultStats::dup_requests_suppressed);
+    mirror("cached_replies_replayed",
+           &fault::FaultStats::cached_replies_replayed);
+    mirror("forwards_replayed", &fault::FaultStats::forwards_replayed);
+    mirror("stale_replies_dropped",
+           &fault::FaultStats::stale_replies_dropped);
+  }
+#endif
+}
+
+void Domain::arm_retransmit(const Envelope& env, ProcessId dest,
+                            std::uint64_t seq) {
+  const fault::RetryPolicy& policy = fault_plan_->retry();
+  schedule_retransmit(env, dest, seq, policy.initial_timeout, policy.budget);
+}
+
+void Domain::schedule_retransmit(Envelope env, ProcessId dest,
+                                 std::uint64_t seq, sim::SimDuration timeout,
+                                 std::uint32_t remaining) {
+  loop_.schedule_after(timeout, [this, env = std::move(env), dest, seq,
+                                 timeout, remaining]() mutable {
+    if (fault_plan_ == nullptr) return;
+    auto* rec = find(env.sender);
+    if (rec == nullptr || !rec->alive || !rec->awaiting_reply ||
+        rec->send_seq != seq) {
+      return;  // transaction closed (answered, or the sender died)
+    }
+    if (remaining == 0) {
+      // Budget exhausted: only now does the transport admit defeat.
+      ++fault_plan_->stats().budget_exhausted;
+      complete_reply(env.sender, msg::make_reply(ReplyCode::kNoReply));
+      return;
+    }
+    ++fault_plan_->stats().retransmits;
+    ++stats_.messages_sent;
+    ++stats_.remote_messages;
+#if V_TRACE_ENABLED
+    if (tracer_.active() && env.trace.trace_id != 0) {
+      const std::uint32_t span =
+          tracer_.begin_span(env.trace.trace_id, env.trace.parent_span,
+                             "retransmit", "mark", env.sender.raw,
+                             loop_.now());
+      tracer_.end_span(span, loop_.now());
+    }
+#endif
+    Envelope copy = env;
+    deliver(env.sender.logical_host(), std::move(copy), dest);
+    const auto backed_off = static_cast<sim::SimDuration>(
+        static_cast<double>(timeout) * fault_plan_->retry().backoff);
+    schedule_retransmit(std::move(env), dest, seq,
+                        std::min(backed_off, fault_plan_->retry().max_timeout),
+                        remaining - 1);
+  });
+}
+
+bool Domain::suppress_duplicate(detail::ProcessRecord& server,
+                                const Envelope& env) {
+  auto it = server.dup_table.find(env.sender.raw);
+  if (it == server.dup_table.end() || it->second.seq != env.txn_seq ||
+      !(it->second.presented == env.request)) {
+    // A new transaction from this client — or the SAME transaction
+    // presented with different request bytes (a forwarding server rewrote
+    // index/context en route; not a retransmission).  Open or recycle the
+    // slot and let the server process it.
+    auto& txn = server.dup_table[env.sender.raw];
+    txn = detail::TxnState{};
+    txn.seq = env.txn_seq;
+    txn.presented = env.request;
+    txn_holder_[env.sender.raw] = server.pid;
+    return false;
+  }
+  detail::TxnState& txn = it->second;
+  auto& fs = fault_plan_->stats();
+  switch (txn.phase) {
+    case detail::TxnState::Phase::kPending:
+      // Still working on the original copy; drop the duplicate.
+      ++fs.dup_requests_suppressed;
+      return true;
+    case detail::TxnState::Phase::kForwarded: {
+      // The request moved on — but that hop may have been lost.  Re-drive
+      // the stored forward; the next server's own suppression makes the
+      // replay harmless if the hop did arrive.
+      ++fs.forwards_replayed;
+      const HostId from_host = server.pid.logical_host();
+      if (txn.fwd_group != 0) {
+        auto git = groups_.find(txn.fwd_group);
+        if (git != groups_.end()) {
+          for (ProcessId member : git->second) {
+            if (!process_alive(member)) continue;
+            Envelope copy = txn.fwd_env;
+            deliver(from_host, std::move(copy), member,
+                    /*synth_on_dead=*/false);
+          }
+        }
+      } else {
+        Envelope copy = txn.fwd_env;
+        deliver(from_host, std::move(copy), txn.fwd_dest,
+                /*synth_on_dead=*/true);
+      }
+      return true;
+    }
+    case detail::TxnState::Phase::kReplied:
+      // Already served: replay the cached reply (the reply packet itself
+      // may have been the loss).  At-most-once: never re-execute.
+      ++fs.cached_replies_replayed;
+      send_reply_packet(server.pid.logical_host(), txn.reply, env.sender,
+                        txn.hint, txn.origin, txn.seq);
+      return true;
+  }
+  return false;
+}
+
+void Domain::note_forward(const Envelope& env, ProcessId new_dest,
+                          GroupId group) {
+  auto* holder = find(env.addressed);
+  if (holder == nullptr) return;
+  auto it = holder->dup_table.find(env.sender.raw);
+  if (it == holder->dup_table.end() || it->second.seq != env.txn_seq) return;
+  detail::TxnState& txn = it->second;
+  txn.phase = detail::TxnState::Phase::kForwarded;
+  txn.fwd_env = env;
+  txn.fwd_dest = new_dest;
+  txn.fwd_group = group;
+}
+
+std::uint32_t Domain::record_served_reply(ProcessId to,
+                                          const msg::Message& reply,
+                                          const BindingHint& hint,
+                                          const BindingHint& origin) {
+  auto holder_it = txn_holder_.find(to.raw);
+  if (holder_it == txn_holder_.end()) return 0;
+  auto* server = find(holder_it->second);
+  if (server == nullptr) return 0;
+  auto it = server->dup_table.find(to.raw);
+  if (it == server->dup_table.end()) return 0;
+  detail::TxnState& txn = it->second;
+  txn.phase = detail::TxnState::Phase::kReplied;
+  txn.reply = reply;
+  txn.hint = hint;
+  txn.origin = origin;
+  txn.fwd_env = Envelope{};  // release the stored forward
+  return txn.seq;
+}
+
+#endif  // V_FAULT_ENABLED
 
 #if V_TRACE_ENABLED
 std::vector<Domain::FiberHotspot> Domain::top_fibers(std::size_t k) const {

@@ -32,6 +32,7 @@
 #include "chk/ledger.hpp"
 #include "chk/protocol_lint.hpp"
 #include "common/result.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "ipc/calibration.hpp"
@@ -88,9 +89,50 @@ struct Envelope {
   /// final server echoes it in its reply hint so the client can tie the
   /// terminal binding back to the prefix entry it started from.
   BindingHint origin;
+  /// Transaction id of the Send this message belongs to (low 32 bits of
+  /// the sender's send sequence; PROTOCOL.md "Reliable transactions").
+  /// Stamped by Send, preserved by Forward, used for duplicate suppression
+  /// and retransmission-staleness checks when V-fault is active.
+  std::uint32_t txn_seq = 0;
+  /// The pid this envelope was delivered to (stamped on arrival).  Lets a
+  /// worker that forwards or replies find the receptionist's transaction
+  /// slot without plumbing extra arguments through server code.
+  ProcessId addressed;
 };
 
 namespace detail {
+
+#if V_FAULT_ENABLED
+/// At-most-once bookkeeping for one client's current transaction at one
+/// server (PROTOCOL.md "Reliable transactions").  A server record keeps one
+/// slot per client pid; a new transaction id from that client recycles it.
+struct TxnState {
+  enum class Phase : std::uint8_t {
+    kPending,    ///< request delivered, no reply or forward yet
+    kForwarded,  ///< request forwarded on; duplicates re-drive the forward
+    kReplied,    ///< reply sent; duplicates get the cached reply replayed
+  };
+
+  std::uint32_t seq = 0;  ///< Envelope::txn_seq this slot covers
+  Phase phase = Phase::kPending;
+  /// The request bytes this slot answered.  A retransmission is
+  /// byte-identical; a same-txn arrival with DIFFERENT bytes is a new
+  /// presentation (a forwarding server rewrote index/context before
+  /// passing it on — e.g. a group member receiving both the direct
+  /// multicast copy and a link-forwarded copy) and must be processed,
+  /// not suppressed.
+  msg::Message presented;
+  // kForwarded: the rewritten envelope and where it went, so a duplicate
+  // request can heal a lost server-to-server hop by re-driving it.
+  Envelope fwd_env;
+  ProcessId fwd_dest;      ///< invalid() when the forward went to a group
+  GroupId fwd_group = 0;
+  // kReplied: the served reply, replayed verbatim on duplicates.
+  msg::Message reply;
+  BindingHint hint;
+  BindingHint origin;
+};
+#endif  // V_FAULT_ENABLED
 
 /// Kernel-internal per-process state.  Retained (not freed) after process
 /// death so pid lookups and pending resumes stay safe; pids are not reused
@@ -115,6 +157,12 @@ struct ProcessRecord {
                              ///< forward delivery); used by crash sweeps
   std::uint64_t send_seq = 0;  ///< distinguishes sends for timeout events
   Segments exposed;            ///< segments of the in-flight send
+
+#if V_FAULT_ENABLED
+  /// Server-side duplicate suppression: one transaction slot per client
+  /// pid (see TxnState).  Only populated while a FaultPlan is installed.
+  std::map<std::uint32_t, TxnState> dup_table;
+#endif
 
   std::optional<sim::Fiber> fiber;
   /// Keeps the process body callable (and its captures) alive for the whole
@@ -269,6 +317,15 @@ class Host {
   /// respawned and re-register, which is the paper's rebinding story).
   void restart();
 
+  /// Suspend packet arrival at this host: requests and replies addressed
+  /// to its processes queue instead of landing (a transient partition /
+  /// unresponsive host, as a FaultPlan kPause event).  Local execution
+  /// continues.  Effective only in V_FAULT builds; resume() flushes the
+  /// queued packets in arrival order.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
   /// Local service registry (used by Process::set_pid/get_pid).
   void register_service(ServiceId service, ProcessId pid, Scope scope);
   [[nodiscard]] ProcessId lookup_local(ServiceId service) const;
@@ -286,6 +343,9 @@ class Host {
   HostId id_;
   std::string name_;
   bool alive_ = true;
+  bool paused_ = false;
+  /// Packets that arrived while paused, flushed FIFO by resume().
+  std::vector<std::function<void()>> stash_;
   std::uint16_t next_local_pid_;
   std::size_t spawned_ = 0;
   std::map<ServiceId, detail::Registration> services_;
@@ -384,6 +444,24 @@ class Domain {
     return metrics_;
   }
 
+#if V_FAULT_ENABLED
+  /// Arm the V-fault machinery: schedule the plan's host lifecycle events,
+  /// apply its link faults to every remote packet, and turn on reliable
+  /// Send transactions (retransmission + duplicate suppression) governed
+  /// by its RetryPolicy.  The plan must outlive the run; its FaultStats
+  /// are mirrored into the metrics registry as "fault/..." entries.
+  void install_faults(fault::FaultPlan& plan);
+  [[nodiscard]] bool fault_active() const noexcept {
+    return fault_plan_ != nullptr;
+  }
+  [[nodiscard]] fault::FaultPlan* fault_plan() noexcept { return fault_plan_; }
+#else
+  /// V_FAULT=OFF shell: installing a plan is legal and does nothing, so
+  /// harness code need not be #if-gated.
+  void install_faults(fault::FaultPlan&) noexcept {}
+  [[nodiscard]] bool fault_active() const noexcept { return false; }
+#endif
+
 #if V_TRACE_ENABLED
   /// One row of the event-loop profile: host CPU attributed to a fiber.
   struct FiberHotspot {
@@ -425,10 +503,48 @@ class Domain {
   /// hop's delay.
   void synth_reply(ProcessId to, ReplyCode code);
 
+  /// A request packet landing at its destination host (after the hop delay
+  /// and any fault verdicts).  Runs lint, duplicate suppression and the
+  /// retransmission-staleness guard, then enqueues into the mailbox.
+  void arrive(Envelope env, ProcessId dest, bool synth_on_dead);
+  /// Put one reply packet on the wire toward `to`, applying fault verdicts.
+  /// `answered_seq` is the transaction the reply answers (0 = untracked).
+  void send_reply_packet(HostId from_host, const msg::Message& reply,
+                         ProcessId to, const BindingHint& hint,
+                         const BindingHint& origin,
+                         std::uint32_t answered_seq);
+  /// A reply packet landing at the blocked sender's host: drops replies to
+  /// superseded transactions, stashes under pause, else completes.
+  void arrive_reply(ProcessId to, const msg::Message& reply,
+                    const BindingHint& hint, const BindingHint& origin,
+                    std::uint32_t answered_seq);
+
   void complete_reply(ProcessId to, const msg::Message& reply,
                       const BindingHint& hint = {},
                       const BindingHint& origin = {});
   void kill_process(detail::ProcessRecord& rec);
+
+#if V_FAULT_ENABLED
+  /// Client-side retransmission: re-deliver a copy of the send every
+  /// (backed-off) timeout until the transaction closes or the budget is
+  /// exhausted, then surface kNoReply.
+  void arm_retransmit(const Envelope& env, ProcessId dest,
+                      std::uint64_t seq);
+  void schedule_retransmit(Envelope env, ProcessId dest, std::uint64_t seq,
+                           sim::SimDuration timeout, std::uint32_t remaining);
+  /// Server-side at-most-once filter.  True = the envelope was a duplicate
+  /// and has been fully handled (suppressed / forward re-driven / cached
+  /// reply replayed); false = genuinely new, deliver it.
+  bool suppress_duplicate(detail::ProcessRecord& server, const Envelope& env);
+  /// Record that the received envelope was forwarded (rewritten as `env`),
+  /// so a duplicate of the original request re-drives the forward.
+  void note_forward(const Envelope& env, ProcessId new_dest, GroupId group);
+  /// Record a served reply in the transaction slot it answers.  Returns
+  /// that transaction's seq (0 when the reply closes no tracked slot).
+  std::uint32_t record_served_reply(ProcessId to, const msg::Message& reply,
+                                    const BindingHint& hint,
+                                    const BindingHint& origin);
+#endif
 
   CalibrationParams params_;
   sim::EventLoop loop_;
@@ -448,6 +564,15 @@ class Domain {
   chk::ProtocolLint lint_;
   obs::TraceSink tracer_;
   obs::MetricsRegistry metrics_;
+#if V_FAULT_ENABLED
+  fault::FaultPlan* fault_plan_ = nullptr;
+  /// client pid -> server record currently holding its transaction slot
+  /// (the last server a request of that client was delivered to), so the
+  /// reply path can find the slot without plumbing envelopes through
+  /// server code.
+  std::unordered_map<std::uint32_t, ProcessId> txn_holder_;
+  bool fault_metrics_registered_ = false;
+#endif
 };
 
 }  // namespace v::ipc

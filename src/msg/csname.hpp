@@ -34,6 +34,12 @@ inline constexpr std::size_t kVariantStart = 12;  // op-specific fields
 inline constexpr std::size_t kOffExpectedGen = 24;  // u32 expected generation
 inline constexpr std::size_t kOffCsFlags = 28;      // u8 CSname header flags
 inline constexpr std::uint8_t kFlagExpectGen = 0x01;  // kOffExpectedGen valid
+// Recovery probe (V-fault rebinding, PROTOCOL.md "Multicast rebinding"):
+// the request was multicast to a server group to rediscover a binding after
+// kNoReply/kInvalidContext.  Members that cannot serve it stay SILENT
+// instead of replying with an error, so first-reply-wins surfaces a member
+// that can; the sender's group timeout covers the nobody-can case.
+inline constexpr std::uint8_t kFlagRecoveryProbe = 0x02;
 
 /// Forwarding budget: a request traversing more servers than this is
 /// answered kForwardLoop.  Cross-server pointer graphs are arbitrary
@@ -113,6 +119,17 @@ inline void clear_expected_generation(Message& m) noexcept {
   m.set_u32(kOffExpectedGen, 0);
   m.raw()[kOffCsFlags] =
       static_cast<std::byte>(cs_flags(m) & ~kFlagExpectGen);
+}
+
+/// True when the request is a recovery probe (see kFlagRecoveryProbe).
+[[nodiscard]] inline bool is_recovery_probe(const Message& m) noexcept {
+  return (cs_flags(m) & kFlagRecoveryProbe) != 0;
+}
+
+/// Mark the request as a recovery probe.
+inline void set_recovery_probe(Message& m) noexcept {
+  m.raw()[kOffCsFlags] =
+      static_cast<std::byte>(cs_flags(m) | kFlagRecoveryProbe);
 }
 
 /// Build the skeleton of a CSname request: code + standard fields.

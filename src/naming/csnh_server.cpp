@@ -145,12 +145,18 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
   gen_floor_ = self.domain().next_name_generation();
   if constexpr (chk::enabled()) {
     self.domain().checks().forget_server(this);
+    // gen_floor_ doubles as the incarnation floor: the lint asserts each
+    // re-registration under this label starts strictly above the last.
     self.domain().lint().register_server(
         pid_.raw, self.domain().process_name(pid_),
         [this](std::uint32_t ctx) {
           return context_valid(translate_context(ctx));
-        });
+        },
+        gen_floor_);
   }
+  // (Re)join the service group: a restarted incarnation becomes reachable
+  // by recovery probes the moment it is back, under its brand-new pid.
+  if (service_group_ != 0) self.join_group(service_group_);
   if (team_.workers == 0) team_.workers = 1;
   if (team_.queue_cap == 0) team_.queue_cap = 1;
   co_await on_start(self);
@@ -189,7 +195,7 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
           tr.end_span(mark, t);
         }
 #endif
-        self.reply(msg::make_reply(ReplyCode::kBusy), env.sender);
+        reply_csname(self, env, msg::make_reply(ReplyCode::kBusy));
         continue;
       }
       queue->push_back(std::move(env));
@@ -202,8 +208,10 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
 
 sim::Co<void> CsnhServer::worker_loop(ipc::Process self) {
   if constexpr (chk::enabled()) {
+    // server_pid ties the worker's replies to the receptionist's
+    // outstanding-request ledger (requests arrive at pid_, workers answer).
     self.domain().lint().register_worker(
-        self.pid().raw, self.domain().process_name(self.pid()));
+        self.pid().raw, self.domain().process_name(self.pid()), pid_.raw);
   }
   for (;;) {
     while (work_queue_.read(self)->empty()) {
@@ -343,6 +351,22 @@ sim::Co<void> CsnhServer::dispatch(ipc::Process& self, ipc::Envelope env) {
   self.reply(reply, env.sender);
 }
 
+void CsnhServer::reply_csname(ipc::Process& self, const ipc::Envelope& env,
+                              const msg::Message& reply) {
+  if (reply.code() != static_cast<std::uint16_t>(ReplyCode::kOk) &&
+      msg::is_csname_request(env.request.code()) &&
+      msg::cs::is_recovery_probe(env.request)) {
+    // Probe silence: some OTHER group member may be able to serve this
+    // probe; an error reply from us would win the first-reply race and
+    // mask it.  Settle the lint ledger so the dropped reply is deliberate,
+    // not a leak.
+    metric_inc(self, "probe_drops");
+    self.domain().lint().note_unanswered(pid_.raw, env.sender.raw);
+    return;
+  }
+  self.reply(reply, env.sender);
+}
+
 bool CsnhServer::defines_leaf(std::uint16_t code) noexcept {
   switch (code) {
     case RequestCode::kAddContextName:
@@ -369,7 +393,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
   //    bare remote transaction (section 6).
   const std::uint16_t name_len = msg::cs::name_length(env.request);
   if (name_len > kMaxNameLength) {
-    self.reply(msg::make_reply(ReplyCode::kBadArgs), env.sender);
+    reply_csname(self, env, msg::make_reply(ReplyCode::kBadArgs));
     co_return;
   }
   std::string name(name_len, '\0');
@@ -378,10 +402,13 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
         env.sender, std::as_writable_bytes(std::span(name)), 0);
     if (!fetched.ok()) {
       if (fetched.code() == ReplyCode::kNoReply) {
-        co_return;  // sender vanished; nobody to answer
+        // Sender vanished; nobody to answer.  Settle the lint ledger: this
+        // silence is deliberate, not a lost reply.
+        self.domain().lint().note_unanswered(pid_.raw, env.sender.raw);
+        co_return;
       }
       // e.g. the claimed name length exceeds the sender's segment.
-      self.reply(msg::make_reply(fetched.code()), env.sender);
+      reply_csname(self, env, msg::make_reply(fetched.code()));
       co_return;
     }
   }
@@ -391,12 +418,12 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
   //    the context is implicit: the message arrived here).
   std::size_t index = msg::cs::name_index(env.request);
   if (index > name.size()) {
-    self.reply(msg::make_reply(ReplyCode::kBadArgs), env.sender);
+    reply_csname(self, env, msg::make_reply(ReplyCode::kBadArgs));
     co_return;
   }
   ContextId ctx = translate_context(msg::cs::context_id(env.request));
   if (!context_valid(ctx)) {
-    self.reply(msg::make_reply(ReplyCode::kInvalidContext), env.sender);
+    reply_csname(self, env, msg::make_reply(ReplyCode::kInvalidContext));
     co_return;
   }
   // Validated caching (PROTOCOL.md 11): a client that learned this context
@@ -407,7 +434,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
   if (msg::cs::has_expected_generation(env.request) &&
       msg::cs::expected_generation(env.request) != generation(ctx)) {
     metric_inc(self, "stale_context");
-    self.reply(msg::make_reply(ReplyCode::kStaleContext), env.sender);
+    reply_csname(self, env, msg::make_reply(ReplyCode::kStaleContext));
     co_return;
   }
   const ContextId entry_ctx = ctx;  ///< context the sender addressed here
@@ -441,7 +468,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
       // always terminates with a clean error instead of orbiting forever.
       const auto hops = msg::cs::forward_count(env.request);
       if (hops >= msg::cs::kMaxForwardHops) {
-        self.reply(msg::make_reply(ReplyCode::kForwardLoop), env.sender);
+        reply_csname(self, env, msg::make_reply(ReplyCode::kForwardLoop));
         co_return;
       }
       msg::cs::set_forward_count(env.request,
@@ -467,6 +494,9 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
         // Section 7: the context is implemented by a group of servers; the
         // request is multicast and the first member to answer wins.
         msg::cs::set_context_id(env.request, found.context);
+        // Recovery probe (V-fault): members that cannot serve it stay
+        // silent, so an error from a wrong member cannot win the race.
+        if (found.probe) msg::cs::set_recovery_probe(env.request);
         self.forward_to_group(env, found.group);
       } else {
         msg::cs::set_context_id(env.request, found.remote.context);
@@ -486,7 +516,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
     const auto why = last_kind == LookupResult::Kind::kObject
                          ? ReplyCode::kNotAContext
                          : ReplyCode::kNotFound;
-    self.reply(msg::make_reply(why), env.sender);
+    reply_csname(self, env, msg::make_reply(why));
     co_return;
   }
 
@@ -590,7 +620,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
                                 static_cast<std::uint16_t>(index)};
     self.reply_with_hint(reply, env.sender, hint, env.origin);
   } else {
-    self.reply(reply, env.sender);
+    reply_csname(self, env, reply);
   }
 }
 

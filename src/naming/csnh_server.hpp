@@ -87,6 +87,18 @@ class CsnhServer {
   void set_team(TeamConfig team) noexcept { team_ = team; }
   [[nodiscard]] const TeamConfig& team() const noexcept { return team_; }
 
+  /// Service group joined by the receptionist on every (re)start.  Recovery
+  /// probes multicast to this group reach every live incarnation of the
+  /// service, so a restarted server (new pid) is rediscoverable without any
+  /// client knowing its address (paper section 7; PROTOCOL.md "Multicast
+  /// rebinding").  0 = join nothing.  Set before run() starts.
+  void set_service_group(ipc::GroupId group) noexcept {
+    service_group_ = group;
+  }
+  [[nodiscard]] ipc::GroupId service_group() const noexcept {
+    return service_group_;
+  }
+
   /// Requests shed with kBusy because the work queue was at queue_cap.
   [[nodiscard]] std::uint64_t shed_count() const noexcept { return sheds_; }
 
@@ -124,6 +136,11 @@ class CsnhServer {
     ContextPair remote;                   ///< for kRemoteContext
     ipc::GroupId group = 0;               ///< for kGroupContext
     std::uint32_t object_id = 0;          ///< for kObject (informational)
+    /// kGroupContext only: forward as a RECOVERY PROBE — members that
+    /// cannot serve the request stay silent instead of answering an error
+    /// (V-fault rebinding; the prefix server uses this when an ordinary
+    /// entry's target server is dead).
+    bool probe = false;
 
     static LookupResult missing() { return {}; }
     static LookupResult object(std::uint32_t id = 0) {
@@ -149,6 +166,11 @@ class CsnhServer {
       r.kind = Kind::kGroupContext;
       r.group = group;
       r.context = ctx;
+      return r;
+    }
+    static LookupResult group_probe(ipc::GroupId group, ContextId ctx) {
+      LookupResult r = group_ctx(group, ctx);
+      r.probe = true;
       return r;
     }
   };
@@ -298,6 +320,15 @@ class CsnhServer {
                     std::int64_t value);
   void metric_hist(ipc::Process& self, std::string_view name, double value);
 
+  /// Reply to a CSname request, honouring recovery-probe silence: an error
+  /// reply to a request carrying kFlagRecoveryProbe is DROPPED (the probing
+  /// client multicast to a group and only a member that can serve it may
+  /// answer; its timeout covers the nobody-can case).  Success replies and
+  /// replies to ordinary requests pass through unchanged.  Handlers that
+  /// reply out of line use this instead of Process::reply.
+  void reply_csname(ipc::Process& self, const ipc::Envelope& env,
+                    const msg::Message& reply);
+
  private:
   /// One worker process: pull envelopes from the team queue, dispatch.
   sim::Co<void> worker_loop(ipc::Process self);
@@ -416,6 +447,7 @@ class CsnhServer {
   std::uint64_t sheds_ = 0;
   std::map<GateKey, Gate> gates_;
   std::string metrics_scope_;  ///< registry scope = process name (set in run)
+  ipc::GroupId service_group_ = 0;  ///< joined on (re)start when nonzero
 };
 
 }  // namespace v::naming

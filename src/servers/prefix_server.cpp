@@ -68,6 +68,18 @@ sim::Co<naming::CsnhServer::LookupResult> ContextPrefixServer::lookup(
     co_return LookupResult::group_ctx(entry.group, entry.logical_context);
   }
   if (!entry.logical) {
+    // V-fault rebinding: an ordinary entry pins a concrete pid.  When that
+    // server has died, forwarding there would only earn the client a
+    // kNoReply — multicast a recovery probe to the rebind group instead,
+    // and let the surviving/restarted member that now implements the
+    // context answer.  (Logical entries need none of this: GetPid at each
+    // use already rebinds them.)
+    if (rebind_group_ != 0 &&
+        !self.domain().process_alive(entry.target.server)) {
+      metric_inc(self, "rebind_probes");
+      co_return LookupResult::group_probe(rebind_group_,
+                                          entry.target.context);
+    }
     co_return LookupResult::remote_ctx(entry.target);
   }
   // Logical entry: bind service -> server at time of use.

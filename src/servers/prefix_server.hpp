@@ -51,6 +51,18 @@ class ContextPrefixServer : public naming::CsnhServer {
   /// footprint report mirroring the paper's 4.5 KB code + 2.6 KB data).
   [[nodiscard]] std::size_t table_bytes() const noexcept;
 
+  /// Fallback server group for ordinary entries whose bound server has
+  /// DIED (V-fault rebinding): instead of forwarding into a void, the
+  /// request is multicast to this group as a recovery probe — the member
+  /// now implementing the context answers, everyone else stays silent.
+  /// 0 (default) = no fallback; dead-target requests fail as before.
+  void set_rebind_group(ipc::GroupId group) noexcept {
+    rebind_group_ = group;
+  }
+  [[nodiscard]] ipc::GroupId rebind_group() const noexcept {
+    return rebind_group_;
+  }
+
  protected:
   sim::Co<void> on_start(ipc::Process& self) override;
   bool context_valid(naming::ContextId ctx) override {
@@ -91,6 +103,7 @@ class ContextPrefixServer : public naming::CsnhServer {
   std::string user_;
   bool register_service_;
   std::map<std::string, Entry, std::less<>> table_;
+  ipc::GroupId rebind_group_ = 0;
 };
 
 }  // namespace v::servers

@@ -189,6 +189,69 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_via_binding(
   co_return decode_open_reply(self_, reply);
 }
 
+sim::Co<Result<Rt::OpenedFile>> Rt::open_via_rebind(std::string_view name,
+                                                    std::uint16_t mode,
+                                                    ReplyCode original) {
+  const SplitName split = split_dir_leaf(name);
+  // The group members are ordinary object servers: they do not speak the
+  // prefix syntax, so a "[prefix]" head is stripped — the remainder names
+  // the directory inside each member's own name space (possibly empty:
+  // probe their default context).
+  std::string_view dir = split.dir;
+  if (naming::has_prefix_syntax(dir)) {
+    const auto close = dir.find(naming::kPrefixClose);
+    if (close != std::string_view::npos) dir = dir.substr(close + 1);
+  }
+  co_await self_.compute(self_.params().send_build);
+  Message probe;
+  probe.set_code(RequestCode::kMapContextName);
+  msg::cs::set_name_length(probe, static_cast<std::uint16_t>(dir.size()));
+  msg::cs::set_name_index(probe, 0);
+  msg::cs::set_context_id(probe, naming::kDefaultContext);
+  // Recovery probe: members that cannot map `dir` stay silent, so the
+  // first (= only) reply names a server that really implements it.
+  msg::cs::set_recovery_probe(probe);
+  ipc::Segments probe_segments;
+  probe_segments.read = std::as_bytes(std::span(dir.data(), dir.size()));
+  const Message probe_reply = co_await self_.send_to_group(
+      probe, recovery_.rebind_group, probe_segments);
+  observe_reply_hints();
+  if (probe_reply.reply_code() != ReplyCode::kOk) {
+    co_return original;  // nobody answered: the probe changed nothing
+  }
+  const ContextPair rebound = naming::wire::get_map_reply(probe_reply);
+
+  // Open the leaf directly against the member that answered: context id
+  // from the probe reply, name index already past the directory part.
+  co_await self_.compute(self_.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kCreateInstance);
+  msg::cs::set_mode(request, mode);
+  msg::cs::set_name_length(request, static_cast<std::uint16_t>(name.size()));
+  msg::cs::set_name_index(
+      request, static_cast<std::uint16_t>(name.size() - split.leaf.size()));
+  msg::cs::set_context_id(request, rebound.context);
+  ipc::Segments segments;
+  segments.read = std::as_bytes(std::span(name.data(), name.size()));
+  const Message reply = co_await self_.send(request, rebound.server,
+                                            segments);
+  observe_reply_hints();
+  if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
+  if (cache_ != nullptr) {
+    // Feed the repaired binding to the cache so the NEXT open goes to the
+    // new incarnation in one hop.
+    const ipc::BindingHint hint = self_.last_binding_hint();
+    if (hint.valid() && !split.dir.empty()) {
+      cache_->put(split.dir,
+                  NameCache::Binding{
+                      {ipc::ProcessId{hint.server_pid}, hint.context_id},
+                      hint.generation, hint.consumed,
+                      self_.last_origin_hint()});
+    }
+  }
+  co_return decode_open_reply(self_, reply);
+}
+
 sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
                                                   std::uint16_t mode) {
   if (cache_ != nullptr) {
@@ -224,7 +287,26 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
       }
     }
   }
-  co_return co_await open_resolved(name, mode);
+  // Full resolution, with the recovery policy on top: transport errors
+  // (kNoReply / kTimeout) are retried up to noreply_retries times, then —
+  // like authoritative kInvalidContext — handed to multicast rebinding
+  // when a rebind group is configured (paper §2.3/§4 repair).
+  std::size_t retries = recovery_.noreply_retries;
+  for (;;) {
+    auto resolved = co_await open_resolved(name, mode);
+    const ReplyCode code = resolved.ok() ? ReplyCode::kOk : resolved.code();
+    const bool transport =
+        code == ReplyCode::kNoReply || code == ReplyCode::kTimeout;
+    if (transport && retries > 0) {
+      --retries;
+      continue;
+    }
+    if ((transport || code == ReplyCode::kInvalidContext) &&
+        recovery_.rebind_group != 0) {
+      co_return co_await open_via_rebind(name, mode, code);
+    }
+    co_return resolved;
+  }
 }
 
 sim::Co<Result<File>> Rt::open(std::string_view name, std::uint16_t mode) {

@@ -37,6 +37,24 @@ struct NameEnv {
   naming::ContextPair current;    ///< current context
 };
 
+/// How the run-time reacts when an open dies with a transport-level error
+/// (kNoReply / kTimeout) or a binding-level one (kInvalidContext) — the
+/// paper's §2.3/§4 repair story.
+struct RecoveryPolicy {
+  /// Full re-resolutions attempted after the first one fails with a
+  /// TRANSPORT error (kNoReply / kTimeout — a lost race with a crash, or
+  /// an unanswered multicast).  The default (1) is the classic run-time
+  /// behaviour: try the same route once more before giving up.
+  /// kInvalidContext is authoritative and never retried on the same
+  /// route — it goes straight to rebinding.
+  std::size_t noreply_retries = 1;
+  /// Server group probed by multicast after the retries are spent
+  /// (kGetContextId-style kMapContextName recovery probe; the member that
+  /// now implements the directory answers, the rest stay silent).  0 =
+  /// no rebinding; the last error is surfaced unchanged.
+  ipc::GroupId rebind_group = 0;
+};
+
 class Rt {
  public:
   Rt(ipc::Process self, NameEnv env) noexcept : self_(self), env_(env) {}
@@ -64,6 +82,12 @@ class Rt {
   /// uncached protocol.
   void set_cache(NameCache* cache);
   [[nodiscard]] NameCache* cache() const noexcept { return cache_; }
+
+  /// Configure open-failure recovery (retries + multicast rebinding).
+  void set_recovery(RecoveryPolicy policy) noexcept { recovery_ = policy; }
+  [[nodiscard]] const RecoveryPolicy& recovery() const noexcept {
+    return recovery_;
+  }
 
   // --- core routing ----------------------------------------------------------
 
@@ -193,10 +217,17 @@ class Rt {
       const NameCache::Binding& binding, SplitName split);
   /// Feed piggybacked binding/origin hints of the last reply to the cache.
   void observe_reply_hints();
+  /// Multicast-rebind open (paper §4): probe recovery_.rebind_group with a
+  /// recovery-marked kMapContextName for the directory part, then open the
+  /// leaf directly against whichever member answered.  Returns `original`
+  /// when nobody answers (the probe changed nothing).
+  [[nodiscard]] sim::Co<Result<OpenedFile>> open_via_rebind(
+      std::string_view name, std::uint16_t mode, ReplyCode original);
 
   ipc::Process self_;
   NameEnv env_;
   NameCache* cache_ = nullptr;
+  RecoveryPolicy recovery_;
 };
 
 }  // namespace v::svc

@@ -1,0 +1,142 @@
+// Crashed-server reply-code coverage across the whole CSNH server family
+// (V-fault satellite): for EVERY server kind, a client that names an
+// object on a crashed server's host must get an honest kNoReply — never a
+// hang, never a stale answer.  Before this matrix only the file server's
+// crash path was exercised (test_cached_open).
+//
+// Each case is the same minimal scenario: spawn the server on its own
+// host, let it settle, crash the host, then drive one CSname transaction
+// at the dead pid (a direct open and a query — both the common client
+// verbs).  The default Rt recovery policy (one transport retry, no rebind
+// group) is left in place, so this also covers the retry-then-surface
+// path for every server kind.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "ipc/kernel.hpp"
+#include "naming/protocol.hpp"
+#include "servers/exception_server.hpp"
+#include "servers/file_server.hpp"
+#include "servers/internet_server.hpp"
+#include "servers/mail_server.hpp"
+#include "servers/pipe_server.hpp"
+#include "servers/prefix_server.hpp"
+#include "servers/printer_server.hpp"
+#include "servers/team_server.hpp"
+#include "servers/terminal_server.hpp"
+#include "sim/time.hpp"
+#include "svc/runtime.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenRead;
+using sim::Co;
+using sim::kMillisecond;
+
+/// Run the shared scenario: `spawn` starts the server-under-test on `srv`
+/// and returns its pid; the host is crashed at 5 ms and the client speaks
+/// to the corpse at 10 ms.
+void expect_noreply_from_crashed(
+    const std::function<ipc::ProcessId(ipc::Domain&, ipc::Host&)>& spawn) {
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws");
+  auto& srv = dom.add_host("srv");
+  const ipc::ProcessId pid = spawn(dom, srv);
+  dom.loop().schedule_at(5 * kMillisecond, [&srv] { srv.crash(); });
+
+  bool finished = false;
+  ws.spawn("client", [&, pid](ipc::Process self) -> Co<void> {
+    co_await self.delay(10 * kMillisecond);
+    EXPECT_FALSE(dom.process_alive(pid));
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {pid, naming::kDefaultContext}});
+    auto opened = co_await rt.open("anything", kOpenRead);
+    EXPECT_FALSE(opened.ok());
+    EXPECT_EQ(opened.code(), ReplyCode::kNoReply);
+    auto described = co_await rt.query("anything");
+    EXPECT_FALSE(described.ok());
+    EXPECT_EQ(described.code(), ReplyCode::kNoReply);
+    finished = true;
+  });
+  dom.run();
+  EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+  EXPECT_TRUE(finished) << "client parked forever on a crashed server";
+}
+
+TEST(CrashReplies, FileServer) {
+  servers::FileServer fs("alpha");
+  fs.put_file("doc.txt", "bytes");
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("file", [&fs](ipc::Process p) { return fs.run(p); });
+  });
+}
+
+TEST(CrashReplies, ContextPrefixServer) {
+  servers::ContextPrefixServer prefixes("mann");
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("prefix",
+                   [&prefixes](ipc::Process p) { return prefixes.run(p); });
+  });
+}
+
+TEST(CrashReplies, ExceptionServer) {
+  servers::ExceptionServer exceptions;
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("exception",
+                   [&exceptions](ipc::Process p) { return exceptions.run(p); });
+  });
+}
+
+TEST(CrashReplies, InternetServer) {
+  servers::InternetServer inet;
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("internet",
+                   [&inet](ipc::Process p) { return inet.run(p); });
+  });
+}
+
+TEST(CrashReplies, MailServer) {
+  servers::MailServer mail;
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("mail", [&mail](ipc::Process p) { return mail.run(p); });
+  });
+}
+
+TEST(CrashReplies, PipeServer) {
+  servers::PipeServer pipes;
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("pipe", [&pipes](ipc::Process p) { return pipes.run(p); });
+  });
+}
+
+TEST(CrashReplies, PrinterServer) {
+  servers::PrinterServer printer;
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("printer",
+                   [&printer](ipc::Process p) { return printer.run(p); });
+  });
+}
+
+TEST(CrashReplies, TeamServer) {
+  // The team server's default program context can point anywhere; the
+  // scenario never resolves through it.
+  servers::TeamServer team(
+      {ipc::ProcessId::invalid(), naming::kDefaultContext});
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("team", [&team](ipc::Process p) { return team.run(p); });
+  });
+}
+
+TEST(CrashReplies, TerminalServer) {
+  servers::TerminalServer terminals;
+  expect_noreply_from_crashed([&](ipc::Domain&, ipc::Host& h) {
+    return h.spawn("terminal",
+                   [&terminals](ipc::Process p) { return terminals.run(p); });
+  });
+}
+
+}  // namespace
+}  // namespace v

@@ -25,6 +25,11 @@
 
 namespace v::test {
 
+/// Service group every file-server incarnation joins (V-fault rebinding):
+/// recovery probes multicast here reach whichever incarnations are alive,
+/// under whatever pids they currently hold.
+inline constexpr ipc::GroupId kStorageGroup = 0xFA01;
+
 struct VFixture {
   /// `fuzz_seed` != nullopt puts the event loop in schedule-fuzz mode
   /// before anything is spawned: same-timestamp events fire in a
@@ -56,6 +61,11 @@ struct VFixture {
     beta.put_file("pub/readme", "public files live here");
     beta.put_file("pub/data/points.dat", "1 2 3 4 5");
 
+    // Every file-server incarnation joins the storage group on (re)start,
+    // making it reachable by multicast recovery probes after a restart
+    // hands it a fresh pid.
+    alpha.set_service_group(kStorageGroup);
+    beta.set_service_group(kStorageGroup);
     alpha_pid = fs1.spawn("alpha-fs", [this](ipc::Process p) {
       return alpha.run(p);
     });
@@ -77,8 +87,27 @@ struct VFixture {
     storage_entry.logical = true;
     storage_entry.service = ipc::ServiceId::kStorageServer;
     prefixes.define("storage", storage_entry);
+    // Ordinary entries whose pinned server dies fall back to a multicast
+    // recovery probe of the storage group.
+    prefixes.set_rebind_group(kStorageGroup);
     prefix_pid = ws1.spawn("prefix-server", [this](ipc::Process p) {
       return prefixes.run(p);
+    });
+  }
+
+  /// Restart alpha's host and re-spawn the server as a NEW incarnation
+  /// (fresh pid, fresh generation floor; rejoins the storage group).
+  void respawn_alpha() {
+    if (!fs1.alive()) fs1.restart();
+    alpha_pid = fs1.spawn("alpha-fs", [this](ipc::Process p) {
+      return alpha.run(p);
+    });
+  }
+  /// Same for beta.
+  void respawn_beta() {
+    if (!fs2.alive()) fs2.restart();
+    beta_pid = fs2.spawn("beta-fs", [this](ipc::Process p) {
+      return beta.run(p);
     });
   }
 
@@ -108,6 +137,13 @@ struct VFixture {
     EXPECT_EQ(dom.lint().counters().server_violations, 0u)
         << dom.lint().first_dump();
     EXPECT_EQ(dom.loop().stats().negative_delay_clamps, 0u);
+    // V-fault invariants: at-most-once (no server answered a request
+    // twice) and monotone incarnations (every restart raised its
+    // generation floor).
+    EXPECT_EQ(dom.lint().counters().duplicate_replies, 0u)
+        << dom.lint().first_dump();
+    EXPECT_EQ(dom.lint().counters().stale_incarnations, 0u)
+        << dom.lint().first_dump();
   }
 
   ipc::Domain dom;
