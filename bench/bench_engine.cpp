@@ -1,0 +1,228 @@
+// E12 (engine raw speed): events per wall-second and simulated message
+// transactions per wall-second, on three workloads that bracket the
+// simulator's hot paths:
+//
+//   timer-churn        pure EventLoop scheduling: a fixed population of
+//                      self-rescheduling timers with a mixed delay profile
+//                      (immediate wakes, sub-ms hops, long timeouts) — the
+//                      queue and the action representation, nothing else.
+//   ping-pong          kernel IPC: one client Send/Receive/Reply looping
+//                      against a remote echo server — envelope delivery,
+//                      pid lookup, fiber resumption.
+//   resolution-storm   9 CSNH servers (1 prefix + 8 chained file servers),
+//                      16 concurrent clients opening names of increasing
+//                      forwarding depth — the full naming stack.
+//
+// Simulated times (sim_ms and the report rows) are deterministic and must
+// stay bit-identical across engine changes; wall-clock throughput is the
+// number this bench exists to track (BENCH_engine.json + the ci.sh `perf`
+// stage, which fails on >25% regression of timer-churn events/s).
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "naming/protocol.hpp"
+
+using namespace v;
+using sim::Co;
+using sim::to_ms;
+
+namespace {
+
+/// splitmix64: cheap deterministic delay source for the churn workload
+/// (mt19937 call overhead would smear the number being measured).
+std::uint64_t next_rand(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = state;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct WorkloadResult {
+  std::uint64_t events = 0;  ///< events executed by the loop
+  std::uint64_t txns = 0;    ///< simulated message transactions (Send→Reply)
+  sim::SimTime sim_ns = 0;   ///< simulated time the workload covered
+};
+
+/// One self-rescheduling timer: fires, draws a new delay, re-arms until the
+/// shared budget is spent.  The delay profile mixes the three populations a
+/// real run schedules: immediate wakes (waker events), sub-millisecond
+/// hops, and long timeouts.
+void arm_timer(sim::EventLoop& loop, std::uint64_t& budget,
+               std::uint64_t& rng) {
+  if (budget == 0) return;
+  --budget;
+  const std::uint64_t r = next_rand(rng);
+  sim::SimDuration delay;
+  switch (r & 3) {
+    case 0:
+      delay = 0;  // immediate wake (the Waker path)
+      break;
+    case 1:
+    case 2:
+      delay = static_cast<sim::SimDuration>((r >> 2) % (2 * sim::kMillisecond));
+      break;
+    default:
+      delay = static_cast<sim::SimDuration>((r >> 2) % (100 * sim::kMillisecond));
+      break;
+  }
+  loop.schedule_after(delay,
+                      [&loop, &budget, &rng] { arm_timer(loop, budget, rng); });
+}
+
+WorkloadResult run_timer_churn() {
+  constexpr std::uint64_t kTimers = 1 << 14;
+  constexpr std::uint64_t kEvents = 2'000'000;
+  sim::EventLoop loop;
+  std::uint64_t budget = kEvents;
+  std::uint64_t rng = 0x1984'0601ULL;
+  for (std::uint64_t i = 0; i < kTimers; ++i) arm_timer(loop, budget, rng);
+  loop.run_until_idle();
+  return {loop.events_executed(), 0, loop.now()};
+}
+
+WorkloadResult run_ping_pong() {
+  constexpr int kTxns = 50'000;
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  auto& srv = dom.add_host("srv1");
+  const auto echo_pid =
+      srv.spawn("echo", [](ipc::Process self) -> Co<void> {
+        for (;;) {
+          auto env = co_await self.receive();
+          self.reply(msg::make_reply(ReplyCode::kOk), env.sender);
+        }
+      });
+  bool done = false;
+  ws.spawn("pinger", [&, echo_pid](ipc::Process self) -> Co<void> {
+    msg::Message ping;
+    ping.set_code(0x0200);  // above the protocol ranges' floor; not CSname
+    for (int i = 0; i < kTxns; ++i) {
+      (void)co_await self.send(ping, echo_pid);
+    }
+    done = true;
+  });
+  dom.run();
+  if (dom.process_failures() != 0 || !done) {
+    std::fprintf(stderr, "BENCH FAILURE: %s\n", dom.first_failure().c_str());
+    std::exit(1);
+  }
+  return {dom.loop().events_executed(), dom.stats().messages_sent,
+          dom.now()};
+}
+
+WorkloadResult run_resolution_storm() {
+  constexpr int kServers = 8;  // file-server chain; +1 prefix server = 9
+  constexpr int kClients = 16;
+  constexpr int kOpensPerClient = 96;
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  std::vector<std::unique_ptr<servers::FileServer>> chain;
+  std::vector<ipc::ProcessId> pids;
+  for (int i = 0; i < kServers; ++i) {
+    auto& host = dom.add_host("fs" + std::to_string(i));
+    chain.push_back(std::make_unique<servers::FileServer>(
+        "fs" + std::to_string(i), servers::DiskModel::kMemory, false));
+    chain.back()->put_file("payload.dat", "end of the chain");
+    pids.push_back(host.spawn("fs" + std::to_string(i),
+                              [srv = chain.back().get()](ipc::Process p) {
+                                return srv->run(p);
+                              }));
+  }
+  for (int i = 0; i + 1 < kServers; ++i) {
+    chain[static_cast<std::size_t>(i)]->put_link(
+        "next", {pids[static_cast<std::size_t>(i) + 1],
+                 naming::kDefaultContext});
+  }
+  servers::ContextPrefixServer prefixes("storm", /*register_service=*/false);
+  prefixes.define("root", {.target = {pids[0], naming::kDefaultContext}});
+  const auto prefix_pid = ws.spawn(
+      "prefix-server", [&prefixes](ipc::Process p) { return prefixes.run(p); });
+
+  int finished = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ws.spawn("client" + std::to_string(c),
+             [&, c](ipc::Process self) -> Co<void> {
+               svc::Rt rt(self,
+                          {prefix_pid, {pids[0], naming::kDefaultContext}});
+               for (int i = 0; i < kOpensPerClient; ++i) {
+                 std::string name = "[root]";
+                 for (int h = 0; h < (i + c) % 6; ++h) name += "next/";
+                 name += "payload.dat";
+                 auto opened = co_await rt.open(name, naming::wire::kOpenRead);
+                 if (!opened.ok()) {
+                   std::fprintf(stderr, "BENCH FAILURE: storm open failed\n");
+                   std::exit(1);
+                 }
+                 svc::File f = opened.take();
+                 (void)co_await f.close();
+               }
+               ++finished;
+             });
+  }
+  dom.run();
+  if (dom.process_failures() != 0 || finished != kClients) {
+    std::fprintf(stderr, "BENCH FAILURE: %s\n", dom.first_failure().c_str());
+    std::exit(1);
+  }
+  return {dom.loop().events_executed(), dom.stats().messages_sent,
+          dom.now()};
+}
+
+/// Run `fn` `repeats` times; report the run with MEDIAN wall time (robust
+/// against scheduler noise) and record it in the JSON engine block.
+template <typename Fn>
+void measure(const std::string& name, int repeats, Fn&& fn) {
+  WorkloadResult result;
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    result = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    walls.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(walls.begin(), walls.end());
+  const double wall_ms = walls[walls.size() / 2];
+  const double wall_s = wall_ms / 1000.0;
+  const double events_per_s =
+      wall_s > 0 ? static_cast<double>(result.events) / wall_s : 0;
+  const double txns_per_s =
+      wall_s > 0 ? static_cast<double>(result.txns) / wall_s : 0;
+  std::printf(
+      "  %-18s %9llu events %8llu txns  %8.1f ms wall  %10.0f ev/s  %9.0f "
+      "txn/s\n",
+      name.c_str(), static_cast<unsigned long long>(result.events),
+      static_cast<unsigned long long>(result.txns), wall_ms, events_per_s,
+      txns_per_s);
+  bench::JsonReport::instance().add_engine_workload(
+      name, result.events, result.txns, wall_ms, to_ms(result.sim_ns));
+  // The deterministic half of the report: simulated coverage per workload
+  // (bit-identical across engine changes; regressions here mean the engine
+  // changed BEHAVIOR, not just speed).
+  bench::row(name + " simulated coverage", to_ms(result.sim_ns));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const int repeats = std::max(3, bench::repeat_from_args(argc, argv));
+  bench::headline("E12", "engine raw speed: events and message transactions "
+                         "per wall-second");
+  bench::run_info(0, "SunWorkstation3Mbit");
+  std::printf("  %d repeats per workload, median wall time reported\n\n",
+              repeats);
+  measure("timer-churn", repeats, run_timer_churn);
+  measure("ping-pong", repeats, run_ping_pong);
+  measure("resolution-storm", repeats, run_resolution_storm);
+  bench::note("wall-clock throughput is machine-dependent; the ci.sh perf "
+              "stage gates events_per_wall_second against BENCH_engine.json "
+              "with 25% tolerance");
+  return bench::finish(json_path);
+}

@@ -64,6 +64,17 @@ class JsonReport {
     cache_fallbacks_ = fallbacks;
     have_cache_stats_ = true;
   }
+  /// Record one engine-throughput workload (bench_engine): raw event and
+  /// message-transaction counts plus the host wall-clock they took.  The
+  /// derived events/txns per wall-second are what the CI perf stage gates;
+  /// everything else in a report stays deterministic.
+  void add_engine_workload(std::string workload, std::uint64_t events,
+                           std::uint64_t txns, double wall_ms,
+                           double sim_ms) {
+    engine_.push_back(
+        {std::move(workload), events, txns, wall_ms, sim_ms});
+  }
+
   void add_row(const std::string& label, double measured_ms,
                double paper_ms) {
     if (sections_.empty()) sections_.push_back({"", "", {}, {}});
@@ -102,6 +113,26 @@ class JsonReport {
                      static_cast<unsigned long long>(cache_fallbacks_));
       }
       std::fprintf(f, "},\n");
+    }
+    if (!engine_.empty()) {
+      std::fprintf(f, "  \"engine\": [\n");
+      for (std::size_t e = 0; e < engine_.size(); ++e) {
+        const EngineWorkload& w = engine_[e];
+        const double wall_s = w.wall_ms / 1000.0;
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"events\": %llu, \"txns\": %llu, "
+            "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
+            "\"events_per_wall_second\": %.0f, "
+            "\"txns_per_wall_second\": %.0f}%s\n",
+            escape(w.workload).c_str(),
+            static_cast<unsigned long long>(w.events),
+            static_cast<unsigned long long>(w.txns), w.wall_ms, w.sim_ms,
+            wall_s > 0 ? static_cast<double>(w.events) / wall_s : 0.0,
+            wall_s > 0 ? static_cast<double>(w.txns) / wall_s : 0.0,
+            e + 1 < engine_.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
     }
     std::fprintf(f, "  \"sections\": [\n");
     for (std::size_t s = 0; s < sections_.size(); ++s) {
@@ -143,6 +174,13 @@ class JsonReport {
     std::vector<Row> rows;
     std::vector<std::string> notes;
   };
+  struct EngineWorkload {
+    std::string workload;
+    std::uint64_t events;
+    std::uint64_t txns;
+    double wall_ms;
+    double sim_ms;
+  };
 
   static std::string escape(const std::string& in) {
     std::string out;
@@ -159,6 +197,7 @@ class JsonReport {
   }
 
   std::vector<Section> sections_;
+  std::vector<EngineWorkload> engine_;
   bool have_run_info_ = false;
   std::uint64_t run_seed_ = 0;
   std::string run_calibration_;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the schema of bench --json reports (bench_util.hpp JsonReport).
 
-Usage: check_bench_json.py report.json [more.json ...]
+Usage: check_bench_json.py [--baseline BASELINE.json] report.json [more.json ...]
 
 Expected shape:
   {
@@ -12,6 +12,11 @@ Expected shape:
       "namecache": {"hits": int, "misses": int,
                     "stale": int, "fallbacks": int}   # optional
     },
+    "engine": [                    # optional (bench_engine throughput)
+      {"workload": str, "events": int, "txns": int,
+       "wall_ms": number, "sim_ms": number,
+       "events_per_wall_second": number, "txns_per_wall_second": number}
+    ],
     "sections": [
       {"id": str, "title": str,
        "rows": [{"label": str, "measured_ms": number,
@@ -19,9 +24,18 @@ Expected shape:
        "notes": [str]}
     ]
   }
+
+With --baseline, every workload in the baseline's "engine" array must also
+appear in each report with events_per_wall_second no more than 25% below
+the baseline value (the CI perf gate: host timing is noisy, a quarter is
+not noise).
 """
 import json
 import sys
+
+# CI perf gate: fail when throughput drops more than this fraction below
+# the checked-in baseline.
+MAX_REGRESSION = 0.25
 
 
 def fail(path, msg):
@@ -66,6 +80,31 @@ def check(path):
                         path, f'"run.namecache.{key}" must be a non-negative '
                         "int")
 
+    engine = doc.get("engine")
+    if engine is not None:
+        if not isinstance(engine, list) or not engine:
+            return fail(path, '"engine" must be a non-empty list')
+        for i, wl in enumerate(engine):
+            where = f"engine[{i}]"
+            if not isinstance(wl, dict):
+                return fail(path, f"{where} must be an object")
+            if not isinstance(wl.get("workload"), str):
+                return fail(path, f'{where}.workload must be a string')
+            for key in ("events", "txns"):
+                if not isinstance(wl.get(key), int) or wl[key] < 0:
+                    return fail(
+                        path, f"{where}.{key} must be a non-negative int")
+            for key in ("wall_ms", "sim_ms", "events_per_wall_second",
+                        "txns_per_wall_second"):
+                if not isinstance(wl.get(key), (int, float)) or wl[key] < 0:
+                    return fail(
+                        path, f"{where}.{key} must be a non-negative number")
+            extra = set(wl) - {"workload", "events", "txns", "wall_ms",
+                               "sim_ms", "events_per_wall_second",
+                               "txns_per_wall_second"}
+            if extra:
+                return fail(path, f"{where} has unknown keys {sorted(extra)}")
+
     sections = doc.get("sections")
     if not isinstance(sections, list) or not sections:
         return fail(path, '"sections" must be a non-empty list')
@@ -102,11 +141,51 @@ def check(path):
     return 0
 
 
+def check_baseline(baseline_path, report_path):
+    """Perf gate: report throughput must stay within MAX_REGRESSION of the
+    checked-in baseline for every engine workload."""
+    with open(baseline_path) as f:
+        base = {wl["workload"]: wl
+                for wl in json.load(f).get("engine", [])}
+    with open(report_path) as f:
+        new = {wl["workload"]: wl
+               for wl in json.load(f).get("engine", [])}
+    if not base:
+        return fail(baseline_path, 'baseline has no "engine" workloads')
+    rc = 0
+    for name, bwl in sorted(base.items()):
+        if name not in new:
+            rc = fail(report_path, f'workload "{name}" missing from report')
+            continue
+        base_eps = bwl["events_per_wall_second"]
+        new_eps = new[name]["events_per_wall_second"]
+        floor = base_eps * (1.0 - MAX_REGRESSION)
+        verdict = "OK  " if new_eps >= floor else "FAIL"
+        print(f"{verdict} perf {name}: {new_eps:,.0f} events/s "
+              f"(baseline {base_eps:,.0f}, floor {floor:,.0f})")
+        if new_eps < floor:
+            rc = fail(
+                report_path,
+                f'"{name}" regressed >{MAX_REGRESSION:.0%}: '
+                f"{new_eps:,.0f} < {floor:,.0f} events/s")
+    return rc
+
+
 def main(argv):
+    baseline = None
+    if len(argv) >= 2 and argv[1] == "--baseline":
+        if len(argv) < 4:
+            print(__doc__, file=sys.stderr)
+            return 2
+        baseline = argv[2]
+        argv = argv[:1] + argv[3:]
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    return max(check(p) for p in argv[1:])
+    rc = max(check(p) for p in argv[1:])
+    if baseline is not None:
+        rc = max([rc] + [check_baseline(baseline, p) for p in argv[1:]])
+    return rc
 
 
 if __name__ == "__main__":

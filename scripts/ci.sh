@@ -13,6 +13,9 @@
 #                          # has no obs symbols and identical bench numbers
 #   scripts/ci.sh bench-smoke  # run every bench with --json and validate
 #                          # each report against the JsonReport schema
+#   scripts/ci.sh perf     # engine-throughput gate: bench_engine --json,
+#                          # fail on >25% events/wall-sec regression vs
+#                          # the checked-in BENCH_engine.json
 #   scripts/ci.sh fault    # V-fault: 16-seed chaos matrix, recovery bench,
 #                          # then prove the V_FAULT=OFF build has no fault
 #                          # symbols and identical E1-E6 bench numbers
@@ -133,6 +136,21 @@ strip_host_timing() {
   sed -E 's/, "host_repeats": [0-9]+, "host_median_ms": [0-9.]+//' "$1"
 }
 
+run_perf() {
+  echo "==> perf (engine throughput gate)"
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_engine
+  ./build/bench/bench_engine --json /tmp/bench_engine_ci.json >/dev/null
+  # Schema first, then the regression gate: each workload's
+  # events_per_wall_second must stay within 25% of the checked-in
+  # baseline.  Deterministic fields (events, txns, sim_ms) regenerate
+  # identically; wall-clock throughput is the one machine-dependent part,
+  # hence a ratio gate instead of a diff.
+  python3 scripts/check_bench_json.py --baseline BENCH_engine.json \
+    /tmp/bench_engine_ci.json
+  echo "perf OK"
+}
+
 run_fault() {
   echo "==> fault (chaos matrix + recovery bench)"
   cmake --preset default
@@ -195,10 +213,11 @@ case "${1:-default}" in
   chk-off) run_chk_off ;;
   trace)   run_trace ;;
   bench-smoke) run_bench_smoke ;;
+  perf)    run_perf ;;
   fault)   run_fault ;;
   all)     run_preset default; run_preset asan; run_lint; run_fuzz
-           run_chk_off; run_trace; run_bench_smoke; run_fault ;;
-  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|bench-smoke|fault|all]" >&2
+           run_chk_off; run_trace; run_bench_smoke; run_perf; run_fault ;;
+  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|bench-smoke|perf|fault|all]" >&2
      exit 2 ;;
 esac
 echo "CI OK"

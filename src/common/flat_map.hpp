@@ -1,0 +1,130 @@
+// Open-addressing hash map for the kernel's hot tables.
+//
+// The kernel's per-message lookups (pid -> record, client -> transaction
+// slot, service -> registration) all key on small integers and never erase
+// individual entries — entries accumulate until the table is cleared
+// wholesale (host crash) or outlive the run.  That access pattern makes the
+// general node-based std::map / std::unordered_map a poor fit: every insert
+// allocates, every lookup chases a pointer into cold memory.
+//
+// FlatMap stores slots contiguously with linear probing over a power-of-two
+// capacity.  Lookups touch one cache line in the common case; inserts
+// allocate only on growth.  Deliberately minimal:
+//   - no per-entry erase (the kernel never needs it; omitting tombstones
+//     keeps probes short and the invariants trivial),
+//   - no iteration (nothing in the kernel walks these tables, which is also
+//     what makes the container swap invisible to deterministic runs — there
+//     is no container order to leak into event order),
+//   - keys must convert to uint64_t (integers and scoped enums).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace v {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  struct Slot {
+    Key first;
+    Value second;
+  };
+  using iterator = Slot*;
+  using const_iterator = const Slot*;
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Sentinel returned by find() on miss; compare with `it == end()` just
+  /// like the node-based maps this replaces.
+  [[nodiscard]] iterator end() noexcept { return nullptr; }
+  [[nodiscard]] const_iterator end() const noexcept { return nullptr; }
+
+  [[nodiscard]] iterator find(const Key& key) noexcept {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask()) {
+      if (!states_[i]) return nullptr;
+      if (slots_[i].first == key) return &slots_[i];
+    }
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Insert-or-find, like std::map::operator[]: default-constructs the
+  /// value on first access.
+  Value& operator[](const Key& key) {
+    if (size_ + 1 > (capacity() * 7) / 8) grow();
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask()) {
+      if (!states_[i]) {
+        states_[i] = 1;
+        ++size_;
+        slots_[i].first = key;
+        return slots_[i].second;
+      }
+      if (slots_[i].first == key) return slots_[i].second;
+    }
+  }
+
+  /// Drop all entries, keeping capacity (crash-path wholesale reset).
+  void clear() noexcept {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i]) slots_[i] = Slot{};
+      states_[i] = 0;
+    }
+    size_ = 0;
+  }
+
+  /// Pre-size so the first `n` inserts never rehash.
+  void reserve(std::size_t n) {
+    std::size_t cap = capacity();
+    while (n + 1 > (cap * 7) / 8) cap = cap == 0 ? kMinCapacity : cap * 2;
+    if (cap != capacity()) rehash(cap);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t mask() const noexcept { return capacity() - 1; }
+
+  /// splitmix64 finalizer — scrambles low-entropy keys (sequential service
+  /// ids, random-but-clustered pids) across the whole table.
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] std::size_t index_of(const Key& key) const noexcept {
+    return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) &
+           mask();
+  }
+
+  void grow() { rehash(capacity() == 0 ? kMinCapacity : capacity() * 2); }
+
+  void rehash(std::size_t new_cap) {
+    assert((new_cap & (new_cap - 1)) == 0 && new_cap > size_);
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    slots_ = std::vector<Slot>(new_cap);  // value-init: no Value copies
+    states_.assign(new_cap, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_states.size(); ++i) {
+      if (!old_states[i]) continue;
+      (*this)[old_slots[i].first] = std::move(old_slots[i].second);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace v

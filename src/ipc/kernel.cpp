@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace v::ipc {
 
@@ -454,6 +455,18 @@ Domain::Domain(CalibrationParams params, std::uint64_t seed)
   });
   mirror("loop", "negative_delay_clamps",
          &loop_.stats().negative_delay_clamps);
+  // Timer-wheel internals (DESIGN.md §4i): cascade/promotion rates expose
+  // scheduler load shape, the inline/heap split flags any closure that
+  // outgrew the Action inline buffer and started allocating per event.
+  mirror("loop", "wheel_cascades", &loop_.stats().wheel_cascades);
+  mirror("loop", "overflow_promotions", &loop_.stats().overflow_promotions);
+  mirror("loop", "actions_inline", &loop_.stats().actions_inline);
+  mirror("loop", "actions_heap", &loop_.stats().actions_heap);
+  // Coroutine-frame pool (process-wide, not per-domain: frames recycle
+  // across domains in one process — fine for the single-domain runs that
+  // read metrics).
+  mirror("frames", "recycled", &sim::FramePool::instance().stats().frames_recycled);
+  mirror("frames", "fresh", &sim::FramePool::instance().stats().frames_fresh);
 #endif
 }
 

@@ -21,15 +21,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "chk/ledger.hpp"
+#include "common/flat_map.hpp"
 #include "chk/protocol_lint.hpp"
 #include "common/result.hpp"
 #include "fault/fault.hpp"
@@ -161,7 +160,9 @@ struct ProcessRecord {
 #if V_FAULT_ENABLED
   /// Server-side duplicate suppression: one transaction slot per client
   /// pid (see TxnState).  Only populated while a FaultPlan is installed.
-  std::map<std::uint32_t, TxnState> dup_table;
+  /// Flat map: probed on every delivery under a fault plan, never erased
+  /// per-entry (slots are overwritten per client, cleared on crash).
+  FlatMap<std::uint32_t, TxnState> dup_table;
 #endif
 
   std::optional<sim::Fiber> fiber;
@@ -345,10 +346,15 @@ class Host {
   bool alive_ = true;
   bool paused_ = false;
   /// Packets that arrived while paused, flushed FIFO by resume().
-  std::vector<std::function<void()>> stash_;
+  // Pause stash: packets are InlineActions (not std::function) so an
+  // Envelope-carrying packet never round-trips through a heap allocation
+  // between stash and re-schedule.
+  std::vector<sim::EventLoop::Action> stash_;
   std::uint16_t next_local_pid_;
   std::size_t spawned_ = 0;
-  std::map<ServiceId, detail::Registration> services_;
+  // Flat map: GetPid probes this on every service lookup; registrations
+  // are tiny and never individually erased (crash clears wholesale).
+  FlatMap<ServiceId, detail::Registration> services_;
 };
 
 /// Transport-level counters for one domain run.  Structural quantities
@@ -552,10 +558,14 @@ class Domain {
   std::vector<std::unique_ptr<Host>> hosts_;
   // Stable storage: records never move or die before the Domain does.
   std::vector<std::unique_ptr<detail::ProcessRecord>> records_;
-  // Hash map, not std::map: pid lookup is on every deliver/reply/move hot
-  // path and pids carry no useful ordering (they are allocated randomly).
-  std::unordered_map<std::uint32_t, detail::ProcessRecord*> by_pid_;
-  std::map<GroupId, std::vector<ProcessId>> groups_;
+  // Open-addressing flat map: pid lookup is on every deliver/reply/move
+  // hot path; one probe normally hits one cache line instead of chasing a
+  // bucket pointer.  Pids carry no useful ordering (allocated randomly).
+  FlatMap<std::uint32_t, detail::ProcessRecord*> by_pid_;
+  // Multicast order is NOT this table's order: each group's members live
+  // in an insertion-ordered vector, so fan-out is deterministic no matter
+  // how the group ids hash.
+  FlatMap<GroupId, std::vector<ProcessId>> groups_;
   DomainStats stats_;
   std::uint32_t name_generation_ = 0;
   std::size_t failures_ = 0;
@@ -570,7 +580,7 @@ class Domain {
   /// (the last server a request of that client was delivered to), so the
   /// reply path can find the slot without plumbing envelopes through
   /// server code.
-  std::unordered_map<std::uint32_t, ProcessId> txn_holder_;
+  FlatMap<std::uint32_t, ProcessId> txn_holder_;
   bool fault_metrics_registered_ = false;
 #endif
 };

@@ -1,0 +1,34 @@
+#include "sim/frame_pool.hpp"
+
+namespace v::sim {
+
+void* FramePool::allocate(std::size_t bytes) {
+  const std::size_t cls = (bytes + kClassBytes - 1) / kClassBytes;
+  if (V_FRAME_POOL_ENABLED && cls >= 1 && cls <= kClasses) {
+    auto& bin = bins_[cls - 1];
+    if (!bin.empty()) {
+      void* frame = bin.back();
+      bin.pop_back();
+      ++stats_.frames_recycled;
+      return frame;
+    }
+    ++stats_.frames_fresh;
+    // Allocate the full class size so the block can be reused by any
+    // same-class frame later.
+    return ::operator new(cls * kClassBytes);
+  }
+  ++stats_.frames_fresh;
+  return ::operator new(bytes);
+}
+
+void FramePool::deallocate(void* frame, std::size_t bytes) noexcept {
+  const std::size_t cls = (bytes + kClassBytes - 1) / kClassBytes;
+  if (V_FRAME_POOL_ENABLED && cls >= 1 && cls <= kClasses &&
+      bins_[cls - 1].size() < kMaxPerClass) {
+    bins_[cls - 1].push_back(frame);
+    return;
+  }
+  ::operator delete(frame);
+}
+
+}  // namespace v::sim

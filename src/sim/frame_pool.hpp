@@ -1,0 +1,80 @@
+// Coroutine-frame recycling for the fiber spawn path.
+//
+// Every simulated IPC transaction spins up short-lived Co<T> frames (stub
+// call, server handler, reply path), so frame allocation sits directly on
+// the hot path.  Frames come in a handful of sizes per build, which makes
+// them ideal free-list fodder: the pool rounds each frame up to a 64-byte
+// size class and keeps a per-class LIFO of retired frames.  Steady-state
+// simulation allocates no frame memory at all — every spawn reuses the
+// frame of a fiber that finished moments (of host time) earlier.
+//
+// The pool is intentionally dumb: no thread safety (the simulation is
+// single-threaded by design), no shrinking beyond a per-class cap, and it
+// deliberately leaks its free lists at process exit (returning them would
+// only slow shutdown).  Under AddressSanitizer the pool disables itself so
+// use-after-free of coroutine frames stays detectable — recycled frames
+// would otherwise mask exactly the bugs the ASan job exists to catch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define V_FRAME_POOL_ENABLED 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define V_FRAME_POOL_ENABLED 0
+#else
+#define V_FRAME_POOL_ENABLED 1
+#endif
+#else
+#define V_FRAME_POOL_ENABLED 1
+#endif
+
+namespace v::sim {
+
+struct FramePoolStats {
+  std::uint64_t frames_recycled = 0;  ///< allocations served from a free list
+  std::uint64_t frames_fresh = 0;     ///< allocations that hit operator new
+};
+
+class FramePool {
+ public:
+  static constexpr std::size_t kClassBytes = 64;
+  static constexpr std::size_t kClasses = 64;      ///< pool frames ≤ 4 KiB
+  static constexpr std::size_t kMaxPerClass = 512;  ///< retained-memory cap
+
+  static FramePool& instance() noexcept {
+    static FramePool pool;
+    return pool;
+  }
+
+  // Defined out of line (frame_pool.cpp): GCC otherwise pairs the inlined
+  // `::operator new` fallback with the class-scope sized delete at every
+  // co_await site and emits a -Wmismatched-new-delete false positive.
+  void* allocate(std::size_t bytes);
+  void deallocate(void* frame, std::size_t bytes) noexcept;
+
+  [[nodiscard]] const FramePoolStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<void*> bins_[kClasses];
+  FramePoolStats stats_;
+};
+
+/// Mix-in base for coroutine promise types: routes the frame through the
+/// pool.  The compiler calls these with the FULL frame size (not the
+/// promise size), and sized delete hands the same size back, which is what
+/// lets the pool bin frames without a header.
+struct PooledFrame {
+  static void* operator new(std::size_t bytes) {
+    return FramePool::instance().allocate(bytes);
+  }
+  static void operator delete(void* frame, std::size_t bytes) noexcept {
+    FramePool::instance().deallocate(frame, bytes);
+  }
+};
+
+}  // namespace v::sim

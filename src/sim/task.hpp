@@ -42,6 +42,7 @@
 #endif
 
 #include "common/check.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace v::sim {
 
@@ -141,7 +142,7 @@ class [[nodiscard]] Co {
 
   [[nodiscard]] bool valid() const noexcept { return coro_ != nullptr; }
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
     std::optional<T> value;
     std::exception_ptr error;
@@ -210,7 +211,7 @@ class [[nodiscard]] Co<void> {
 
   [[nodiscard]] bool valid() const noexcept { return coro_ != nullptr; }
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
     std::exception_ptr error;
 
@@ -253,7 +254,7 @@ namespace detail {
 
 /// Root coroutine type for fibers: manually started, frame owned by Fiber.
 struct FiberRoot {
-  struct promise_type {
+  struct promise_type : PooledFrame {
     FiberRoot get_return_object() {
       return FiberRoot{std::coroutine_handle<promise_type>::from_promise(*this)};
     }

@@ -1,0 +1,117 @@
+// Schedule scenarios shared by the engine-equivalence suite
+// (test_engine.cpp) and the golden-order recorder that was run ONCE against
+// the pre-timer-wheel std::priority_queue engine.  The recorded firing
+// orders are baked into test_engine.cpp; any engine change that perturbs
+// tie semantics (FIFO by sequence, seeded-hash permutation under fuzz)
+// shows up as a golden mismatch.
+//
+// Everything here must stay bit-stable: the scenarios use their own
+// splitmix64 stream (not sim::Rng) and take no input besides the optional
+// fuzz seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+
+namespace v::test {
+
+/// Private deterministic stream for generating schedules (same finalizer
+/// the loop uses for tie keys, different seed domain — overlap is harmless,
+/// the scenario only needs stable pseudo-random timestamps).
+inline std::uint64_t scenario_rand(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = state;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixed schedule: 160 root events packed into 40 distinct timestamps
+/// (heavy ties) spread from sub-millisecond to ~200 ms — the span covers
+/// several delay scales a real run mixes (hop delays, prefix processing,
+/// group timeouts) — plus four far-future stragglers (~2 simulated months,
+/// deliberately beyond any realistic timeout) so the whole time range of
+/// the scheduler is exercised.  Every third root schedules two children
+/// while the queue is live: one at its OWN timestamp (a same-time arrival
+/// racing events already due) and one a few milliseconds out.  Exercises:
+/// tie ordering among pre-scheduled events, tie ordering against late
+/// arrivals, and interleaving of dynamic scheduling with draining.
+inline std::vector<int> mixed_schedule_order(
+    std::optional<std::uint64_t> fuzz_seed) {
+  constexpr sim::SimTime kStride = 5'300'123;  // ~5.3 ms between time buckets
+  sim::EventLoop loop;
+  if (fuzz_seed) loop.enable_fuzz(*fuzz_seed);
+  std::vector<int> order;
+  std::uint64_t rng = 0xD1CE'BA5EULL;
+  int next_id = 164;  // ids 0..163 are roots; children number upward
+  for (int id = 0; id < 160; ++id) {
+    const auto at =
+        static_cast<sim::SimTime>(scenario_rand(rng) % 40) * kStride;
+    loop.schedule_at(at, [&loop, &order, &next_id, &rng, id, at] {
+      order.push_back(id);
+      if (id % 3 == 0) {
+        const int same_time_child = next_id++;
+        loop.schedule_at(at, [&order, same_time_child] {
+          order.push_back(same_time_child);
+        });
+        const int later_child = next_id++;
+        const auto later =
+            at + 1 + static_cast<sim::SimTime>(scenario_rand(rng) % 5) *
+                         1'700'459;
+        loop.schedule_at(later, [&order, later_child] {
+          order.push_back(later_child);
+        });
+      }
+    });
+  }
+  // Far-future pair of tied pairs: two distinct ~60-day timestamps, two
+  // events each.
+  constexpr sim::SimTime kFarFuture = 5'000'000'000'000'000;  // ~58 days
+  for (int id = 160; id < 164; ++id) {
+    loop.schedule_at(kFarFuture + (id < 162 ? 0 : 1'234'567),
+                     [&order, id] { order.push_back(id); });
+  }
+  loop.run_until_idle();
+  return order;
+}
+
+/// Dense same-timestamp burst: 48 events at one instant, a quarter of which
+/// schedule an extra event at that SAME instant while the burst is firing,
+/// bracketed by single events one tick before and after.  The sharpest test
+/// of the tie rule: under fuzz, a late arrival's hashed tie key may sort
+/// BEFORE events that were already pending.
+inline std::vector<int> burst_order(std::optional<std::uint64_t> fuzz_seed) {
+  constexpr sim::SimTime kBurstAt = 100'000'007;  // ~100 ms, mid-tick
+  sim::EventLoop loop;
+  if (fuzz_seed) loop.enable_fuzz(*fuzz_seed);
+  std::vector<int> order;
+  int next_id = 48;
+  loop.schedule_at(kBurstAt - 1, [&order] { order.push_back(-1); });
+  for (int id = 0; id < 48; ++id) {
+    loop.schedule_at(kBurstAt, [&loop, &order, &next_id, id] {
+      order.push_back(id);
+      if (id % 4 == 0) {
+        const int child = next_id++;
+        loop.schedule_at(kBurstAt, [&order, child] { order.push_back(child); });
+      }
+    });
+  }
+  loop.schedule_at(kBurstAt + 1, [&order] { order.push_back(-2); });
+  loop.run_until_idle();
+  return order;
+}
+
+/// FNV-1a over the firing order — compact golden for the 16-seed matrix.
+inline std::uint64_t order_hash(const std::vector<int>& order) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const int v : order) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace v::test

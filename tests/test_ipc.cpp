@@ -375,6 +375,32 @@ TEST(Group, EmptyGroupTimesOut) {
   });
 }
 
+TEST(Group, MulticastDeliversInJoinOrder) {
+  // Fan-out order is the members' join order (the per-group member
+  // vector), NOT any property of the group table — the table is an
+  // open-addressing map whose layout must never leak into event order.
+  Domain dom;
+  auto& host = dom.add_host("ws1");
+  constexpr GroupId kGroup = 9;
+  std::vector<int> delivered;
+  for (int i = 0; i < 5; ++i) {
+    host.spawn("member" + std::to_string(i),
+               [&delivered, i](Process self) -> Co<void> {
+                 self.join_group(kGroup);
+                 auto env = co_await self.receive();
+                 delivered.push_back(i);
+                 self.reply(msg::make_reply(ReplyCode::kOk), env.sender);
+               });
+  }
+  run_client(dom, host, [&delivered](Process self) -> Co<void> {
+    co_await self.delay(kMillisecond);  // let members join, in spawn order
+    const auto reply = co_await self.send_to_group(msg::Message{}, kGroup);
+    EXPECT_EQ(reply.reply_code(), ReplyCode::kOk);
+    co_await self.delay(kMillisecond);  // drain the stragglers' deliveries
+    EXPECT_EQ(delivered, (std::vector<int>{0, 1, 2, 3, 4}));
+  });
+}
+
 TEST(Group, DeadMembersAreSkipped) {
   Domain dom;
   auto& host = dom.add_host("ws1");
