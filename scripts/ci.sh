@@ -4,7 +4,13 @@
 #
 #   scripts/ci.sh          # plain RelWithDebInfo build + ctest
 #   scripts/ci.sh asan     # Debug + -fsanitize=address,undefined + ctest
-#   scripts/ci.sh lint     # clang-tidy over src/ (skips if not installed)
+#   scripts/ci.sh sanitize # UBSan run of test_engine + test_cached_open,
+#                          # plus a TSan build (build-only: the sim is
+#                          # single-threaded, TSan proves it still links)
+#   scripts/ci.sh lint     # clang-tidy over src/ (skips if not installed;
+#                          # skips unchanged files via a content-hash cache)
+#   scripts/ci.sh slint    # V-lint static analysis (tools/vlint): tree must
+#                          # be clean, every seeded fixture must fail
 #   scripts/ci.sh fuzz     # 16-seed deterministic schedule-fuzz sweep
 #   scripts/ci.sh chk-off  # V_CHECKS=OFF: tests pass, chk symbols absent,
 #                          # bench numbers bit-identical to the baseline
@@ -33,17 +39,65 @@ run_preset() {
   ctest --preset "${preset}" -j "$(nproc)"
 }
 
+run_sanitize() {
+  echo "==> sanitize (UBSan run + TSan build)"
+  echo "==> sanitize: ubsan configure/build"
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "$(nproc)" --target \
+    test_engine test_cached_open
+  echo "==> sanitize: ubsan run (test_engine, test_cached_open)"
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ./build-ubsan/tests/test_engine
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ./build-ubsan/tests/test_cached_open
+  echo "==> sanitize: tsan build-only (the sim is single-threaded)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)" --target \
+    test_engine test_cached_open
+  echo "sanitize OK"
+}
+
 run_lint() {
   echo "==> lint (clang-tidy)"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not installed; skipping lint stage"
     return 0
   fi
-  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  # Headers are covered via HeaderFilterRegex in .clang-tidy.
-  find src -name '*.cpp' -print0 |
-    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet
+  cmake --preset default  # exports compile_commands.json (see the preset)
+  # Content-hash cache: a file is re-linted only when its content, the
+  # .clang-tidy config, or the clang-tidy version changes.
+  local cache_dir=".cache/clang-tidy"
+  mkdir -p "${cache_dir}"
+  local config_hash
+  config_hash=$( (clang-tidy --version; cat .clang-tidy) | sha256sum |
+                 cut -d' ' -f1)
+  local failed=0
+  while IFS= read -r -d '' f; do
+    local h stamp
+    h=$(sha256sum "$f" | cut -d' ' -f1)
+    stamp="${cache_dir}/${h}-${config_hash:0:16}"
+    if [[ -f "${stamp}" ]]; then
+      continue
+    fi
+    # Headers are covered via HeaderFilterRegex in .clang-tidy.
+    if clang-tidy -p build --quiet "$f"; then
+      touch "${stamp}"
+    else
+      failed=1
+    fi
+  done < <(find src -name '*.cpp' -print0)
+  [[ "${failed}" -eq 0 ]] || { echo "FAIL: clang-tidy findings" >&2; exit 1; }
   echo "lint OK"
+}
+
+run_slint() {
+  echo "==> slint (V-lint static analysis)"
+  cmake --preset default  # exports compile_commands.json for --compdb
+  echo "==> slint: tree must be clean"
+  python3 tools/vlint/vlint.py --root . --compdb build/compile_commands.json
+  echo "==> slint: every seeded fixture must fail with its rule"
+  python3 tools/vlint/vlint.py --check-fixtures
+  echo "slint OK"
 }
 
 run_fuzz() {
@@ -208,16 +262,19 @@ run_fault() {
 case "${1:-default}" in
   default) run_preset default ;;
   asan)    run_preset asan ;;
+  sanitize) run_sanitize ;;
   lint)    run_lint ;;
+  slint)   run_slint ;;
   fuzz)    run_fuzz ;;
   chk-off) run_chk_off ;;
   trace)   run_trace ;;
   bench-smoke) run_bench_smoke ;;
   perf)    run_perf ;;
   fault)   run_fault ;;
-  all)     run_preset default; run_preset asan; run_lint; run_fuzz
-           run_chk_off; run_trace; run_bench_smoke; run_perf; run_fault ;;
-  *) echo "usage: $0 [default|asan|lint|fuzz|chk-off|trace|bench-smoke|perf|fault|all]" >&2
+  all)     run_preset default; run_preset asan; run_sanitize; run_lint
+           run_slint; run_fuzz; run_chk_off; run_trace; run_bench_smoke
+           run_perf; run_fault ;;
+  *) echo "usage: $0 [default|asan|sanitize|lint|slint|fuzz|chk-off|trace|bench-smoke|perf|fault|all]" >&2
      exit 2 ;;
 esac
 echo "CI OK"

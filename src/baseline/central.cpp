@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "naming/parse.hpp"
+#include "common/annotate.hpp"
 
 namespace v::baseline {
 
@@ -87,6 +88,7 @@ sim::Co<void> CentralNameServer::run(ipc::Process self) {
   }
 }
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> CentralClient::send_with_name(
     msg::Message request, std::string_view name,
     std::span<std::byte> write_segment) {
@@ -110,6 +112,7 @@ sim::Co<ReplyCode> CentralClient::register_name(std::string_view name,
   co_return reply.reply_code();
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<Binding>> CentralClient::lookup(std::string_view name) {
   msg::Message request;
   request.set_code(kLookupName);

@@ -10,8 +10,9 @@
 // FlatMap stores slots contiguously with linear probing over a power-of-two
 // capacity.  Lookups touch one cache line in the common case; inserts
 // allocate only on growth.  Deliberately minimal:
-//   - no per-entry erase (the kernel never needs it; omitting tombstones
-//     keeps probes short and the invariants trivial),
+//   - per-entry erase uses tombstones: probes walk through them, inserts
+//     reuse the first one passed, and any rehash (growth or a same-capacity
+//     compaction once deleted slots crowd the table) purges them all,
 //   - no iteration (nothing in the kernel walks these tables, which is also
 //     what makes the container swap invisible to deterministic runs — there
 //     is no container order to leak into event order),
@@ -48,8 +49,8 @@ class FlatMap {
   [[nodiscard]] iterator find(const Key& key) noexcept {
     if (size_ == 0) return nullptr;
     for (std::size_t i = index_of(key);; i = (i + 1) & mask()) {
-      if (!states_[i]) return nullptr;
-      if (slots_[i].first == key) return &slots_[i];
+      if (states_[i] == kEmpty) return nullptr;
+      if (states_[i] == kFull && slots_[i].first == key) return &slots_[i];
     }
   }
   [[nodiscard]] const_iterator find(const Key& key) const noexcept {
@@ -57,27 +58,54 @@ class FlatMap {
   }
 
   /// Insert-or-find, like std::map::operator[]: default-constructs the
-  /// value on first access.
+  /// value on first access.  A new key reuses the first tombstone passed on
+  /// its probe path, so erase/insert churn does not stretch probes forever.
   Value& operator[](const Key& key) {
-    if (size_ + 1 > (capacity() * 7) / 8) grow();
+    if (size_ + tombs_ + 1 > (capacity() * 7) / 8) grow();
+    std::size_t tomb = kNoSlot;
     for (std::size_t i = index_of(key);; i = (i + 1) & mask()) {
-      if (!states_[i]) {
-        states_[i] = 1;
+      if (states_[i] == kEmpty) {
+        if (tomb != kNoSlot) {
+          i = tomb;
+          --tombs_;
+        }
+        states_[i] = kFull;
         ++size_;
         slots_[i].first = key;
         return slots_[i].second;
       }
+      if (states_[i] == kTomb) {
+        if (tomb == kNoSlot) tomb = i;
+        continue;
+      }
       if (slots_[i].first == key) return slots_[i].second;
+    }
+  }
+
+  /// Erase by key: the slot becomes a tombstone (probes walk through it,
+  /// the next insert on this path may reuse it).  Returns entries removed.
+  std::size_t erase(const Key& key) noexcept {
+    if (size_ == 0) return 0;
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask()) {
+      if (states_[i] == kEmpty) return 0;
+      if (states_[i] == kFull && slots_[i].first == key) {
+        slots_[i] = Slot{};
+        states_[i] = kTomb;
+        --size_;
+        ++tombs_;
+        return 1;
+      }
     }
   }
 
   /// Drop all entries, keeping capacity (crash-path wholesale reset).
   void clear() noexcept {
     for (std::size_t i = 0; i < states_.size(); ++i) {
-      if (states_[i]) slots_[i] = Slot{};
-      states_[i] = 0;
+      if (states_[i] == kFull) slots_[i] = Slot{};
+      states_[i] = kEmpty;
     }
     size_ = 0;
+    tombs_ = 0;
   }
 
   /// Pre-size so the first `n` inserts never rehash.
@@ -89,6 +117,10 @@ class FlatMap {
 
  private:
   static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTomb = 2;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
   [[nodiscard]] std::size_t mask() const noexcept { return capacity() - 1; }
@@ -107,7 +139,17 @@ class FlatMap {
            mask();
   }
 
-  void grow() { rehash(capacity() == 0 ? kMinCapacity : capacity() * 2); }
+  void grow() {
+    // Double only when live entries justify it; a table crowded mostly by
+    // tombstones rehashes at the same capacity, which purges them.
+    if (capacity() == 0) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > (capacity() * 7) / 16) {
+      rehash(capacity() * 2);
+    } else {
+      rehash(capacity());
+    }
+  }
 
   void rehash(std::size_t new_cap) {
     assert((new_cap & (new_cap - 1)) == 0 && new_cap > size_);
@@ -116,8 +158,9 @@ class FlatMap {
     slots_ = std::vector<Slot>(new_cap);  // value-init: no Value copies
     states_.assign(new_cap, 0);
     size_ = 0;
+    tombs_ = 0;
     for (std::size_t i = 0; i < old_states.size(); ++i) {
-      if (!old_states[i]) continue;
+      if (old_states[i] != kFull) continue;
       (*this)[old_slots[i].first] = std::move(old_slots[i].second);
     }
   }
@@ -125,6 +168,7 @@ class FlatMap {
   std::vector<Slot> slots_;
   std::vector<std::uint8_t> states_;
   std::size_t size_ = 0;
+  std::size_t tombs_ = 0;
 };
 
 }  // namespace v

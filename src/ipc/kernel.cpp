@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "sim/frame_pool.hpp"
+#include "common/annotate.hpp"
 
 namespace v::ipc {
 
@@ -14,12 +15,14 @@ namespace v::ipc {
 // Process
 // ---------------------------------------------------------------------------
 
+V_HOT_PATH
 detail::ProcessRecord& Process::record() const {
   auto* rec = domain_->find(pid_);
   V_CHECK(rec != nullptr);
   return *rec;
 }
 
+V_HOT_PATH
 std::shared_ptr<sim::FiberState> Process::fiber_state() const {
   auto& rec = record();
   return rec.fiber ? rec.fiber->state() : nullptr;
@@ -35,6 +38,7 @@ sim::DelayAwaiter Process::delay(sim::SimDuration d) const {
   return sim::DelayAwaiter(domain_->loop(), d, fiber_state());
 }
 
+V_HOT_PATH
 sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
                                     Segments segments) {
   auto& rec = record();
@@ -135,11 +139,13 @@ sim::Co<Envelope> Process::receive() {
   co_return env;
 }
 
+V_HOT_PATH
 void Process::reply(const msg::Message& reply_msg, ProcessId to) {
   ++domain_->stats_.replies_sent;
   domain_->deliver_reply(host_id(), reply_msg, to, pid_);
 }
 
+V_HOT_PATH
 void Process::reply_with_hint(const msg::Message& reply_msg, ProcessId to,
                               const BindingHint& hint,
                               const BindingHint& origin) {
@@ -212,6 +218,7 @@ void Process::forward_to_group(const Envelope& env, GroupId group) {
       });
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> Process::move_from(ProcessId src,
                                                 std::span<std::byte> dest,
                                                 std::size_t offset) {
@@ -231,6 +238,7 @@ sim::Co<Result<std::size_t>> Process::move_from(ProcessId src,
   co_return dest.size();
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> Process::move_to(ProcessId dest,
                                               std::span<const std::byte> src,
                                               std::size_t offset) {
@@ -488,11 +496,13 @@ bool Domain::process_alive(ProcessId pid) const {
   return rec != nullptr && rec->alive;
 }
 
+V_HOT_PATH
 detail::ProcessRecord* Domain::find(ProcessId pid) {
   auto it = by_pid_.find(pid.raw);
   return it != by_pid_.end() ? it->second : nullptr;
 }
 
+V_HOT_PATH
 const detail::ProcessRecord* Domain::find(ProcessId pid) const {
   auto it = by_pid_.find(pid.raw);
   return it != by_pid_.end() ? it->second : nullptr;
@@ -521,10 +531,12 @@ detail::ProcessRecord& Domain::create_record(Host& host, std::string name) {
   return *raw;
 }
 
+V_HOT_PATH
 void Domain::deliver(HostId from_host, Envelope env, ProcessId dest) {
   deliver(from_host, std::move(env), dest, /*synth_on_dead=*/true);
 }
 
+V_HOT_PATH
 void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
                      bool synth_on_dead) {
   const bool local = dest.local_to(from_host);
@@ -555,6 +567,7 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
       });
 }
 
+V_HOT_PATH
 void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
   auto* rec = find(dest);
 #if V_FAULT_ENABLED
@@ -569,6 +582,7 @@ void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
   }
 #endif
   if (rec == nullptr || !rec->alive) {
+    // vlint: allow(hot-path-alloc): dead-destination reply, off the hot delivery path
     if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
     return;
   }
@@ -595,6 +609,7 @@ void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
   if (const auto reject = lint_.check_request(
           env.request, env.sender.raw, env.segments.read.size(), dest.raw,
           static_cast<std::uint64_t>(loop_.now()))) {
+    // vlint: allow(hot-path-alloc): malformed-request reject, off the hot delivery path
     synth_reply(env.sender, *reject);
     return;
   }
@@ -616,6 +631,7 @@ void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
   }
 }
 
+V_HOT_PATH
 void Domain::deliver_reply(HostId from_host, msg::Message reply,
                            ProcessId to, ProcessId from,
                            const BindingHint& hint,
@@ -635,6 +651,7 @@ void Domain::deliver_reply(HostId from_host, msg::Message reply,
   send_reply_packet(from_host, reply, to, hint, origin, answered_seq);
 }
 
+V_HOT_PATH
 void Domain::send_reply_packet(HostId from_host, const msg::Message& reply,
                                ProcessId to, const BindingHint& hint,
                                const BindingHint& origin,
@@ -661,6 +678,7 @@ void Domain::send_reply_packet(HostId from_host, const msg::Message& reply,
   });
 }
 
+V_HOT_PATH
 void Domain::arrive_reply(ProcessId to, const msg::Message& reply,
                           const BindingHint& hint, const BindingHint& origin,
                           std::uint32_t answered_seq) {
@@ -694,6 +712,7 @@ void Domain::synth_reply(ProcessId to, ReplyCode code) {
   });
 }
 
+V_HOT_PATH
 void Domain::complete_reply(ProcessId to, const msg::Message& reply,
                             const BindingHint& hint,
                             const BindingHint& origin) {

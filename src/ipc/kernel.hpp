@@ -42,6 +42,7 @@
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
+#include "common/annotate.hpp"
 
 namespace v::ipc {
 
@@ -187,6 +188,7 @@ class Process {
 
   [[nodiscard]] ProcessId pid() const noexcept { return pid_; }
   [[nodiscard]] Domain& domain() const noexcept { return *domain_; }
+  V_HOT_PATH
   [[nodiscard]] HostId host_id() const noexcept { return pid_.logical_host(); }
   [[nodiscard]] sim::SimTime now() const noexcept;
   [[nodiscard]] const CalibrationParams& params() const noexcept;

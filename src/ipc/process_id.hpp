@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include "common/annotate.hpp"
 
 namespace v::ipc {
 
@@ -18,6 +19,7 @@ using HostId = std::uint16_t;
 struct ProcessId {
   std::uint32_t raw = 0;
 
+  V_HOT_PATH
   static constexpr ProcessId invalid() noexcept { return ProcessId{0}; }
   static constexpr ProcessId make(HostId host, std::uint16_t local) noexcept {
     return ProcessId{(static_cast<std::uint32_t>(host) << 16) | local};

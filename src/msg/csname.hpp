@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "msg/message.hpp"
+#include "common/annotate.hpp"
 
 namespace v::msg::cs {
 
@@ -52,6 +53,7 @@ inline constexpr std::uint8_t kMaxForwardHops = 8;
 [[nodiscard]] inline std::uint16_t name_index(const Message& m) noexcept {
   return m.u16(kOffNameIndex);
 }
+V_HOT_PATH
 inline void set_name_index(Message& m, std::uint16_t index) noexcept {
   m.set_u16(kOffNameIndex, index);
 }
@@ -60,6 +62,7 @@ inline void set_name_index(Message& m, std::uint16_t index) noexcept {
 [[nodiscard]] inline std::uint16_t name_length(const Message& m) noexcept {
   return m.u16(kOffNameLength);
 }
+V_HOT_PATH
 inline void set_name_length(Message& m, std::uint16_t length) noexcept {
   m.set_u16(kOffNameLength, length);
 }
@@ -68,6 +71,7 @@ inline void set_name_length(Message& m, std::uint16_t length) noexcept {
 [[nodiscard]] inline std::uint32_t context_id(const Message& m) noexcept {
   return m.u32(kOffContextId);
 }
+V_HOT_PATH
 inline void set_context_id(Message& m, std::uint32_t ctx) noexcept {
   m.set_u32(kOffContextId, ctx);
 }
@@ -76,6 +80,7 @@ inline void set_context_id(Message& m, std::uint32_t ctx) noexcept {
 [[nodiscard]] inline std::uint16_t mode(const Message& m) noexcept {
   return static_cast<std::uint8_t>(m.raw()[kOffMode]);
 }
+V_HOT_PATH
 inline void set_mode(Message& m, std::uint16_t mode_bits) noexcept {
   m.raw()[kOffMode] = static_cast<std::byte>(mode_bits & 0xff);
 }
@@ -90,6 +95,7 @@ inline void set_forward_count(Message& m, std::uint8_t count) noexcept {
 }
 
 /// CSname header flag bits (kOffCsFlags).
+V_HOT_PATH
 [[nodiscard]] inline std::uint8_t cs_flags(const Message& m) noexcept {
   return static_cast<std::uint8_t>(m.raw()[kOffCsFlags]);
 }
@@ -107,6 +113,7 @@ inline void set_forward_count(Message& m, std::uint8_t count) noexcept {
 }
 
 /// Stamp an expected generation onto the request.
+V_HOT_PATH
 inline void set_expected_generation(Message& m, std::uint32_t gen) noexcept {
   m.set_u32(kOffExpectedGen, gen);
   m.raw()[kOffCsFlags] =

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "naming/match.hpp"
 #include "naming/parse.hpp"
+#include "common/annotate.hpp"
 
 namespace v::naming {
 
@@ -38,6 +39,7 @@ class ContextDirectoryInstance : public io::BufferInstance {
         ctx_(ctx),
         apply_(std::move(apply)) {}
 
+  V_BORROWS_SPAN
   sim::Co<Result<std::size_t>> write_block(
       ipc::Process& self, std::uint32_t block,
       std::span<const std::byte> data) override {
@@ -222,6 +224,7 @@ sim::Co<void> CsnhServer::worker_loop(ipc::Process self) {
   }
 }
 
+V_NO_SUSPEND
 ipc::Envelope CsnhServer::take_work(ipc::Process& self) {
   auto queue = work_queue_.write(self);
   ipc::Envelope env = std::move(queue->front());
@@ -386,6 +389,7 @@ bool CsnhServer::defines_leaf(std::uint16_t code) noexcept {
 // The name mapping procedure (paper section 5.4)
 // ---------------------------------------------------------------------------
 
+V_BORROWS_SPAN
 sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
                                         ipc::Envelope& env) {
   // 1. Fetch the name bytes from the (possibly distant) original sender's
@@ -628,6 +632,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
 // Standard operation bodies
 // ---------------------------------------------------------------------------
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> CsnhServer::do_query(ipc::Process& self,
                                            ipc::Envelope& env, ContextId ctx,
                                            std::string_view leaf) {
@@ -644,6 +649,7 @@ sim::Co<msg::Message> CsnhServer::do_query(ipc::Process& self,
   co_return reply;
 }
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> CsnhServer::do_modify(ipc::Process& self,
                                             ipc::Envelope& env,
                                             ContextId ctx,
@@ -654,9 +660,11 @@ sim::Co<msg::Message> CsnhServer::do_modify(ipc::Process& self,
   if (!fetched.ok()) co_return msg::make_reply(fetched.code());
   auto desc = ObjectDescriptor::decode(record);
   if (!desc.ok()) co_return msg::make_reply(desc.code());
+  // vlint: allow(gate-generation): handle_csname bumps the generation after a successful mutating dispatch.
   co_return msg::make_reply(co_await modify(self, ctx, leaf, desc.value()));
 }
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> CsnhServer::do_rename(ipc::Process& self,
                                             ipc::Envelope& env,
                                             ContextId ctx,
@@ -675,9 +683,11 @@ sim::Co<msg::Message> CsnhServer::do_rename(ipc::Process& self,
     // Cross-context renames are not part of the standard protocol.
     co_return msg::make_reply(ReplyCode::kBadArgs);
   }
+  // vlint: allow(gate-generation): handle_csname bumps the generation after a successful mutating dispatch.
   co_return msg::make_reply(co_await rename(self, ctx, leaf, new_name));
 }
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> CsnhServer::do_open(ipc::Process& self,
                                           ipc::Envelope& /*env*/,
                                           ContextId ctx,
@@ -802,6 +812,7 @@ sim::Co<msg::Message> CsnhServer::do_inverse_name(ipc::Process& self,
 // I/O protocol instance operations
 // ---------------------------------------------------------------------------
 
+V_BORROWS_SPAN
 sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
     ipc::Process& self, ipc::Envelope& env) {
   const auto id =
@@ -933,38 +944,45 @@ sim::Co<Result<ObjectDescriptor>> CsnhServer::describe(ipc::Process& /*self*/,
   co_return desc;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::modify(ipc::Process&, ContextId,
                                       std::string_view,
                                       const ObjectDescriptor&) {
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::remove(ipc::Process&, ContextId,
                                       std::string_view) {
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::rename(ipc::Process&, ContextId,
                                       std::string_view, std::string_view) {
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::create_object(ipc::Process&, ContextId,
                                              std::string_view,
                                              std::uint16_t) {
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::make_context(ipc::Process&, ContextId,
                                             std::string_view) {
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::link_context(ipc::Process&, ContextId,
                                             std::string_view, ContextPair) {
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::add_context_name(ipc::Process&, ContextId,
                                                 std::string_view, ContextPair,
                                                 ipc::ServiceId,
@@ -972,6 +990,7 @@ sim::Co<ReplyCode> CsnhServer::add_context_name(ipc::Process&, ContextId,
   co_return ReplyCode::kIllegalRequest;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> CsnhServer::delete_context_name(ipc::Process&, ContextId,
                                                    std::string_view) {
   co_return ReplyCode::kIllegalRequest;

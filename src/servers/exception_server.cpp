@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "msg/request_codes.hpp"
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -13,6 +14,7 @@ ExceptionServer::ExceptionServer(bool register_service,
                                  naming::TeamConfig team)
     : CsnhServer(team), register_service_(register_service) {}
 
+V_BORROWS_SPAN
 sim::Co<Result<std::uint16_t>> ExceptionServer::raise(
     ipc::Process self, ipc::ProcessId server, FaultCode code,
     std::string_view detail) {
@@ -37,6 +39,7 @@ sim::Co<void> ExceptionServer::on_start(ipc::Process& self) {
   co_return;
 }
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> ExceptionServer::handle_custom(ipc::Process& self,
                                                      ipc::Envelope& env) {
   if (env.request.code() != kRaiseException) {
@@ -107,6 +110,7 @@ sim::Co<Result<naming::ObjectDescriptor>> ExceptionServer::describe(
   co_return describe_report(it->first, it->second);
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> ExceptionServer::remove(ipc::Process& self,
                                            naming::ContextId ctx,
                                            std::string_view leaf) {

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "naming/parse.hpp"
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -42,6 +43,7 @@ class FileInstance : public io::InstanceObject {
     return info;
   }
 
+  V_BORROWS_SPAN
   sim::Co<Result<std::size_t>> read_block(ipc::Process& self,
                                           std::uint32_t block,
                                           std::span<std::byte> out) override {
@@ -85,6 +87,7 @@ class FileInstance : public io::InstanceObject {
     co_return n;
   }
 
+  V_BORROWS_SPAN
   sim::Co<Result<std::size_t>> write_block(
       ipc::Process& self, std::uint32_t block,
       std::span<const std::byte> data) override {
@@ -377,6 +380,7 @@ sim::Co<Result<naming::ObjectDescriptor>> FileServer::describe(
   co_return describe_inode(*entry);
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> FileServer::modify(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf,
@@ -397,6 +401,7 @@ sim::Co<ReplyCode> FileServer::modify(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> FileServer::remove(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf) {
@@ -417,6 +422,7 @@ sim::Co<ReplyCode> FileServer::remove(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> FileServer::rename(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf,
@@ -456,6 +462,7 @@ void FileServer::bump_subtree_generations(ipc::Process& self,
   }
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> FileServer::create_object(ipc::Process& self,
                                              naming::ContextId ctx,
                                              std::string_view leaf,
@@ -472,6 +479,7 @@ sim::Co<ReplyCode> FileServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> FileServer::make_context(ipc::Process& self,
                                             naming::ContextId ctx,
                                             std::string_view leaf) {
@@ -487,6 +495,7 @@ sim::Co<ReplyCode> FileServer::make_context(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> FileServer::link_context(ipc::Process& self,
                                             naming::ContextId ctx,
                                             std::string_view leaf,
@@ -504,6 +513,7 @@ sim::Co<ReplyCode> FileServer::link_context(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::unique_ptr<io::InstanceObject>>> FileServer::open_object(
     ipc::Process& self, naming::ContextId ctx, std::string_view leaf,
     std::uint16_t mode) {
@@ -514,6 +524,7 @@ sim::Co<Result<std::unique_ptr<io::InstanceObject>>> FileServer::open_object(
     if ((mode & naming::wire::kOpenCreate) == 0) {
       co_return ReplyCode::kNotFound;
     }
+    // vlint: allow(gate-generation): open-with-create dispatches through handle_csname, which bumps the generation on success.
     const auto created = co_await create_object(self, ctx, leaf, mode);
     if (!v::ok(created)) co_return created;
     entry = child(*find_inode(static_cast<InodeId>(ctx)), leaf);

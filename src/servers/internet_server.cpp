@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstring>
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -44,6 +45,7 @@ class ConnectionInstance : public io::InstanceObject {
     co_return n;
   }
 
+  V_BORROWS_SPAN
   sim::Co<Result<std::size_t>> write_block(
       ipc::Process& self, std::uint32_t /*block*/,
       std::span<const std::byte> data) override {
@@ -127,6 +129,8 @@ sim::Co<Result<naming::ObjectDescriptor>> InternetServer::describe(
   co_return describe_conn(it->first, it->second);
 }
 
+V_BORROWS_SPAN
+V_GATED_MUTATION
 sim::Co<ReplyCode> InternetServer::create_object(ipc::Process& self,
                                                  naming::ContextId ctx,
                                                  std::string_view leaf,
@@ -145,6 +149,7 @@ sim::Co<ReplyCode> InternetServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> InternetServer::remove(ipc::Process& self,
                                           naming::ContextId ctx,
                                           std::string_view leaf) {
@@ -156,12 +161,14 @@ sim::Co<ReplyCode> InternetServer::remove(ipc::Process& self,
 }
 
 sim::Co<Result<std::unique_ptr<io::InstanceObject>>>
+V_BORROWS_SPAN
 InternetServer::open_object(ipc::Process& self, naming::ContextId ctx,
                             std::string_view leaf, std::uint16_t mode) {
   if (!connections_.contains(leaf)) {
     if ((mode & naming::wire::kOpenCreate) == 0) {
       co_return ReplyCode::kNotFound;
     }
+    // vlint: allow(gate-generation): open-with-create dispatches through handle_csname, which bumps the generation on success.
     const auto created = co_await create_object(self, ctx, leaf, mode);
     if (!v::ok(created)) co_return created;
   }

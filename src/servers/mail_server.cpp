@@ -1,6 +1,7 @@
 #include "servers/mail_server.hpp"
 
 #include <cstring>
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -128,6 +129,7 @@ sim::Co<Result<naming::ObjectDescriptor>> MailServer::describe(
   co_return describe_mailbox(it->first, it->second);
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> MailServer::create_object(ipc::Process& self,
                                              naming::ContextId ctx,
                                              std::string_view leaf,
@@ -142,6 +144,7 @@ sim::Co<ReplyCode> MailServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> MailServer::remove(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf) {
@@ -152,6 +155,7 @@ sim::Co<ReplyCode> MailServer::remove(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::unique_ptr<io::InstanceObject>>> MailServer::open_object(
     ipc::Process& self, naming::ContextId ctx, std::string_view leaf,
     std::uint16_t mode) {
@@ -159,6 +163,7 @@ sim::Co<Result<std::unique_ptr<io::InstanceObject>>> MailServer::open_object(
     if ((mode & naming::wire::kOpenCreate) == 0) {
       co_return ReplyCode::kNotFound;
     }
+    // vlint: allow(gate-generation): open-with-create dispatches through handle_csname, which bumps the generation on success.
     const auto created = co_await create_object(self, ctx, leaf, mode);
     if (!v::ok(created)) co_return created;
   }

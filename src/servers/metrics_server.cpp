@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 #include <vector>
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -60,6 +61,7 @@ ObjectDescriptor MetricsServer::describe_metric(
   return desc;
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<ObjectDescriptor>> MetricsServer::describe(
     ipc::Process& self, ContextId ctx, std::string_view leaf) {
   if (leaf.empty()) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "naming/parse.hpp"
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -89,6 +90,7 @@ sim::Co<naming::CsnhServer::LookupResult> ContextPrefixServer::lookup(
       ContextPair{server, entry.logical_context});
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> ContextPrefixServer::add_context_name(
     ipc::Process& self, naming::ContextId ctx, std::string_view leaf,
     naming::ContextPair target, ipc::ServiceId logical_service,
@@ -111,6 +113,7 @@ sim::Co<ReplyCode> ContextPrefixServer::add_context_name(
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> ContextPrefixServer::delete_context_name(
     ipc::Process& self, naming::ContextId ctx, std::string_view leaf) {
   note_name_write(self, ctx, leaf);
@@ -157,6 +160,7 @@ sim::Co<Result<naming::ObjectDescriptor>> ContextPrefixServer::describe(
   co_return describe_entry(it->first, it->second);
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> ContextPrefixServer::modify(
     ipc::Process& self, naming::ContextId ctx, std::string_view leaf,
     const naming::ObjectDescriptor& desc) {

@@ -1,6 +1,7 @@
 #include "servers/printer_server.hpp"
 
 #include <cstring>
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -128,6 +129,7 @@ sim::Co<Result<naming::ObjectDescriptor>> PrinterServer::describe(
   co_return describe_job(it->first, it->second, self.now());
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> PrinterServer::create_object(ipc::Process& self,
                                                 naming::ContextId ctx,
                                                 std::string_view leaf,
@@ -142,6 +144,7 @@ sim::Co<ReplyCode> PrinterServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> PrinterServer::remove(ipc::Process& self,
                                          naming::ContextId ctx,
                                          std::string_view leaf) {
@@ -156,12 +159,14 @@ sim::Co<ReplyCode> PrinterServer::remove(ipc::Process& self,
 }
 
 sim::Co<Result<std::unique_ptr<io::InstanceObject>>>
+V_BORROWS_SPAN
 PrinterServer::open_object(ipc::Process& self, naming::ContextId ctx,
                            std::string_view leaf, std::uint16_t mode) {
   if (!jobs_.contains(leaf)) {
     if ((mode & naming::wire::kOpenCreate) == 0) {
       co_return ReplyCode::kNotFound;
     }
+    // vlint: allow(gate-generation): open-with-create dispatches through handle_csname, which bumps the generation on success.
     const auto created = co_await create_object(self, ctx, leaf, mode);
     if (!v::ok(created)) co_return created;
   }

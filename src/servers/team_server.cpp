@@ -3,6 +3,7 @@
 #include "msg/request_codes.hpp"
 #include "naming/parse.hpp"
 #include "naming/protocol.hpp"
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -22,6 +23,7 @@ sim::Co<void> TeamServer::on_start(ipc::Process& self) {
   co_return;
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::uint16_t>> TeamServer::load_program(
     ipc::Process self, ipc::ProcessId team, std::string_view name) {
   co_await self.compute(self.params().send_build);
@@ -130,6 +132,7 @@ sim::Co<Result<naming::ObjectDescriptor>> TeamServer::describe(
   co_return describe_program(it->first, it->second);
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> TeamServer::remove(ipc::Process& self,
                                       naming::ContextId ctx,
                                       std::string_view leaf) {

@@ -1,6 +1,7 @@
 #include "servers/terminal_server.hpp"
 
 #include <cstring>
+#include "common/annotate.hpp"
 
 namespace v::servers {
 
@@ -112,6 +113,7 @@ sim::Co<Result<naming::ObjectDescriptor>> TerminalServer::describe(
   co_return describe_terminal(it->first, it->second);
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> TerminalServer::create_object(ipc::Process& self,
                                                  naming::ContextId ctx,
                                                  std::string_view leaf,
@@ -126,6 +128,7 @@ sim::Co<ReplyCode> TerminalServer::create_object(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
+V_GATED_MUTATION
 sim::Co<ReplyCode> TerminalServer::remove(ipc::Process& self,
                                           naming::ContextId ctx,
                                           std::string_view leaf) {
@@ -137,12 +140,14 @@ sim::Co<ReplyCode> TerminalServer::remove(ipc::Process& self,
 }
 
 sim::Co<Result<std::unique_ptr<io::InstanceObject>>>
+V_BORROWS_SPAN
 TerminalServer::open_object(ipc::Process& self, naming::ContextId ctx,
                             std::string_view leaf, std::uint16_t mode) {
   if (!terminals_.contains(leaf)) {
     if ((mode & naming::wire::kOpenCreate) == 0) {
       co_return ReplyCode::kNotFound;
     }
+    // vlint: allow(gate-generation): open-with-create dispatches through handle_csname, which bumps the generation on success.
     const auto created = co_await create_object(self, ctx, leaf, mode);
     if (!v::ok(created)) co_return created;
   }

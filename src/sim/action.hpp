@@ -20,6 +20,7 @@
 #include <new>
 #include <type_traits>
 #include <utility>
+#include "common/annotate.hpp"
 
 namespace v::sim {
 
@@ -62,6 +63,7 @@ class InlineAction {
     return ops_ != nullptr && ops_->inline_storage;
   }
 
+  V_HOT_PATH
   void operator()() { ops_->invoke(buf_); }
 
  private:
@@ -111,6 +113,7 @@ class InlineAction {
     }
   }
 
+  V_HOT_PATH
   void move_from(InlineAction& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {

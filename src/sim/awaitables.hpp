@@ -8,6 +8,7 @@
 #include "sim/event_loop.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "common/annotate.hpp"
 
 namespace v::sim {
 
@@ -82,6 +83,7 @@ class ParkAwaiter {
  public:
   /// `waker` must outlive the suspension; the kernel stores it in its wait
   /// records.  `fiber` enables kill-by-exception on resume.
+  V_HOT_PATH
   ParkAwaiter(Waker& waker, std::shared_ptr<FiberState> fiber) noexcept
       : waker_(waker), fiber_(std::move(fiber)) {}
 

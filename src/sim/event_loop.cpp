@@ -10,6 +10,7 @@
 
 #include "common/log.hpp"
 #include "sim/task.hpp"
+#include "common/annotate.hpp"
 
 namespace v::sim {
 
@@ -31,6 +32,7 @@ log_detail::Context ambient_log_context() {
 /// splitmix64 finalizer: a cheap, high-quality 64-bit mix.  Used to turn
 /// (fuzz seed, sequence number) into a tie key so simultaneous events fire
 /// in a seed-determined permutation of their scheduling order.
+V_HOT_PATH
 std::uint64_t mix64(std::uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -44,10 +46,12 @@ EventLoop::EventLoop() {
   log_detail::set_context_provider(&ambient_log_context);
 }
 
+V_HOT_PATH
 std::uint64_t EventLoop::tie_key(std::uint64_t seq) const noexcept {
   return fuzz_ ? mix64(fuzz_seed_ ^ mix64(seq)) : seq;
 }
 
+V_HOT_PATH
 std::uint32_t EventLoop::alloc_node(Action&& action) {
   std::uint32_t idx = free_head_;
   if (idx != kNilNode) {
@@ -55,7 +59,9 @@ std::uint32_t EventLoop::alloc_node(Action&& action) {
   } else {
     idx = slab_used_++;
     if ((idx >> kChunkBits) == chunks_.size()) {
-      chunks_.push_back(
+      // Slab chunk growth: rare and amortized, the steady state reuses
+      // freed nodes.
+      chunks_.push_back(  // vlint: allow(hot-path-alloc): cold growth branch
           std::make_unique<Node[]>(std::size_t{1} << kChunkBits));
     }
   }
@@ -63,16 +69,19 @@ std::uint32_t EventLoop::alloc_node(Action&& action) {
   return idx;
 }
 
+V_HOT_PATH
 void EventLoop::free_node(std::uint32_t idx) noexcept {
   node(idx).next_free = free_head_;
   free_head_ = idx;
 }
 
+V_HOT_PATH
 void EventLoop::push_due(const Key& key) {
   due_.push_back(key);
   std::push_heap(due_.begin(), due_.end(), Later{});
 }
 
+V_HOT_PATH
 EventLoop::Key EventLoop::pop_due() {
   std::pop_heap(due_.begin(), due_.end(), Later{});
   const Key key = due_.back();
@@ -80,6 +89,7 @@ EventLoop::Key EventLoop::pop_due() {
   return key;
 }
 
+V_HOT_PATH
 void EventLoop::wheel_insert(const Key& key) {
   const std::uint64_t tick = tick_of(key.at);
   const std::uint64_t delta = tick ^ cur_tick_;
@@ -100,6 +110,7 @@ void EventLoop::wheel_insert(const Key& key) {
   occupied_[level] |= std::uint64_t{1} << slot;
 }
 
+V_HOT_PATH
 void EventLoop::schedule_at(SimTime at, Action action) {
   if (at < now_) at = now_;
   const std::uint64_t seq = next_seq_++;
@@ -121,6 +132,7 @@ void EventLoop::schedule_at(SimTime at, Action action) {
   }
 }
 
+V_HOT_PATH
 void EventLoop::advance() {
   assert(due_.empty() && pending_ > 0);
   for (;;) {
@@ -211,6 +223,7 @@ void EventLoop::advance() {
   }
 }
 
+V_HOT_PATH
 bool EventLoop::step_untimed() {
   if (due_.empty()) {
     if (pending_ == 0) return false;

@@ -35,6 +35,7 @@
 
 #include "sim/action.hpp"
 #include "sim/time.hpp"
+#include "common/annotate.hpp"
 
 namespace v::sim {
 
@@ -90,6 +91,7 @@ class EventLoop {
   /// Schedule `action` to run `delay` from now.  Negative delays are a
   /// caller bug: debug builds assert, all builds clamp to 0 and count the
   /// occurrence in stats().
+  V_HOT_PATH
   void schedule_after(SimDuration delay, Action action) {
     if (delay < 0) {
       ++stats_.negative_delay_clamps;
@@ -183,6 +185,7 @@ class EventLoop {
   static constexpr std::size_t kSlotsPerLevel = std::size_t{1} << kSlotBits;
   static constexpr int kWheelBits = kLevels * kSlotBits;  // 36
 
+  V_HOT_PATH
   static std::uint64_t tick_of(SimTime at) noexcept {
     return static_cast<std::uint64_t>(at) >> kTickBits;
   }
@@ -191,6 +194,7 @@ class EventLoop {
 
   bool step_untimed();
 
+  V_HOT_PATH
   Node& node(std::uint32_t idx) noexcept {
     return chunks_[idx >> kChunkBits][idx & ((1u << kChunkBits) - 1)];
   }

@@ -43,6 +43,7 @@
 
 #include "common/check.hpp"
 #include "sim/frame_pool.hpp"
+#include "common/annotate.hpp"
 
 namespace v::sim {
 
@@ -76,6 +77,7 @@ struct AmbientContext {
   const FiberState* fiber = nullptr;
 };
 
+V_HOT_PATH
 inline AmbientContext& ambient() noexcept {
   static AmbientContext ctx;
   return ctx;

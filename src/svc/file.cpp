@@ -1,12 +1,14 @@
 #include "svc/file.hpp"
 
 #include "msg/request_codes.hpp"
+#include "common/annotate.hpp"
 
 namespace v::svc {
 
 using msg::Message;
 using msg::RequestCode;
 
+V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> File::read_block(std::uint32_t block,
                                               std::span<std::byte> out) {
   co_await proc_.compute(proc_.params().send_build);
@@ -22,6 +24,7 @@ sim::Co<Result<std::size_t>> File::read_block(std::uint32_t block,
   co_return static_cast<std::size_t>(reply.u16(io::kOffXferCount));
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> File::write_block(
     std::uint32_t block, std::span<const std::byte> data) {
   co_await proc_.compute(proc_.params().send_build);
@@ -71,6 +74,7 @@ sim::Co<Result<std::vector<std::byte>>> File::read_bulk() {
   co_return buffer;
 }
 
+V_BORROWS_SPAN
 sim::Co<ReplyCode> File::write_all(std::span<const std::byte> data) {
   const std::size_t block_bytes = info_.block_bytes;
   std::uint32_t block = 0;

@@ -15,12 +15,14 @@
 #include "io/protocol.hpp"
 #include "ipc/kernel.hpp"
 #include "sim/task.hpp"
+#include "common/annotate.hpp"
 
 namespace v::svc {
 
 class File {
  public:
   File() = default;
+  V_HOT_PATH
   File(ipc::Process proc, ipc::ProcessId server, io::InstanceId instance,
        io::InstanceInfo info) noexcept
       : proc_(proc), server_(server), instance_(instance), info_(info) {}

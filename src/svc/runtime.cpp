@@ -5,6 +5,7 @@
 #include "msg/request_codes.hpp"
 #include "naming/parse.hpp"
 #include "naming/protocol.hpp"
+#include "common/annotate.hpp"
 
 namespace v::svc {
 
@@ -19,6 +20,7 @@ sim::Co<Rt> Rt::attach(ipc::Process self, naming::ContextPair current) {
   co_return Rt(self, NameEnv{prefix_server, current});
 }
 
+V_BORROWS_SPAN
 sim::Co<msg::Message> Rt::send_csname(msg::Message request,
                                       std::string_view name,
                                       std::span<const std::byte> payload,
@@ -81,6 +83,7 @@ void Rt::set_cache(NameCache* cache) {
 #endif
 }
 
+V_HOT_PATH
 void Rt::observe_reply_hints() {
   if (cache_ == nullptr) return;
   // The origin hint reports the entry binding the request travelled
@@ -93,6 +96,7 @@ void Rt::observe_reply_hints() {
 
 namespace {
 /// Decode a successful kCreateInstance reply into an OpenedFile.
+V_HOT_PATH
 Rt::OpenedFile decode_open_reply(ipc::Process self, const Message& reply) {
   io::InstanceInfo info;
   info.size_bytes = reply.u32(io::kOffCreateSize);
@@ -126,6 +130,7 @@ Rt::SplitName Rt::split_dir_leaf(std::string_view name) {
   return {std::string_view{}, name};
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<Rt::OpenedFile>> Rt::open_resolved(std::string_view name,
                                                   std::uint16_t mode) {
   Message request;
@@ -155,6 +160,8 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_resolved(std::string_view name,
   co_return decode_open_reply(self_, reply);
 }
 
+V_BORROWS_SPAN
+V_HOT_PATH
 sim::Co<Result<Rt::OpenedFile>> Rt::open_via_binding(
     std::string_view name, std::uint16_t mode,
     const NameCache::Binding& binding, SplitName split) {
@@ -189,6 +196,7 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_via_binding(
   co_return decode_open_reply(self_, reply);
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<Rt::OpenedFile>> Rt::open_via_rebind(std::string_view name,
                                                     std::uint16_t mode,
                                                     ReplyCode original) {
@@ -252,6 +260,7 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_via_rebind(std::string_view name,
   co_return decode_open_reply(self_, reply);
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<Rt::OpenedFile>> Rt::open_detailed(std::string_view name,
                                                   std::uint16_t mode) {
   if (cache_ != nullptr) {

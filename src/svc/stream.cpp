@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include "common/annotate.hpp"
 
 namespace v::svc {
 
@@ -25,6 +26,7 @@ sim::Co<ReplyCode> Stream::fill() {
   co_return ReplyCode::kOk;
 }
 
+V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> Stream::read(std::span<std::byte> out) {
   std::size_t produced = 0;
   const std::size_t block_bytes = file_.block_bytes();
@@ -96,6 +98,7 @@ sim::Co<Result<std::string>> Stream::read_rest() {
   co_return rest;
 }
 
+V_BORROWS_SPAN
 sim::Co<ReplyCode> Stream::append(std::string_view text) {
   const auto refreshed = co_await file_.refresh();
   if (!v::ok(refreshed)) co_return refreshed;

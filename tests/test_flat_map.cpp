@@ -1,0 +1,133 @@
+// FlatMap edge cases around tombstone erase (added alongside V-lint):
+// slot reuse after erase, rehash correctness under mixed insert/erase
+// churn, and lookups probing a table at maximum load.  A std::map shadow
+// model keeps every churn test honest about the expected contents.
+#include <cstdint>
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/flat_map.hpp"
+
+namespace v {
+namespace {
+
+TEST(FlatMap, EraseRemovesOnlyTheKey) {
+  FlatMap<std::uint64_t, int> m;
+  m[1] = 10;
+  m[2] = 20;
+  m[3] = 30;
+  EXPECT_EQ(m.erase(2), 1u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.find(2), m.end());
+  ASSERT_NE(m.find(1), m.end());
+  EXPECT_EQ(m.find(1)->second, 10);
+  ASSERT_NE(m.find(3), m.end());
+  EXPECT_EQ(m.find(3)->second, 30);
+  // Erasing a missing or already-erased key is a no-op.
+  EXPECT_EQ(m.erase(2), 0u);
+  EXPECT_EQ(m.erase(99), 0u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, FindWalksThroughTombstones) {
+  // Three keys forced onto one probe chain (same home slot after masking
+  // is not guaranteed, so build a chain the hard way: fill, then erase the
+  // middle of every adjacent pair and confirm the survivors stay visible).
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 12; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 12; k += 2) EXPECT_EQ(m.erase(k), 1u);
+  for (std::uint64_t k = 1; k < 12; k += 2) {
+    ASSERT_NE(m.find(k), m.end()) << "key " << k << " lost behind tombstone";
+    EXPECT_EQ(m.find(k)->second, static_cast<int>(k));
+  }
+  for (std::uint64_t k = 0; k < 12; k += 2) {
+    EXPECT_EQ(m.find(k), m.end());
+  }
+}
+
+TEST(FlatMap, InsertReusesTombstones) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 8; ++k) m[k] = static_cast<int>(k);
+  // Erase and reinsert the same keys many times over: with tombstone reuse
+  // (and compaction on rehash) the table must not grow without bound while
+  // the live count stays fixed.
+  for (int round = 0; round < 10000; ++round) {
+    const std::uint64_t k = static_cast<std::uint64_t>(round % 8);
+    EXPECT_EQ(m.erase(k), 1u);
+    m[k] = round;
+    ASSERT_EQ(m.size(), 8u);
+  }
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    ASSERT_NE(m.find(k), m.end());
+  }
+}
+
+TEST(FlatMap, MixedChurnMatchesMapModel) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> model;
+  std::mt19937_64 rng(0x5eedULL);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = rng() % 512;  // heavy collisions
+    switch (rng() % 3) {
+      case 0:
+      case 1: {  // insert-or-assign, twice as likely as erase
+        const std::uint64_t val = rng();
+        m[key] = val;
+        model[key] = val;
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(m.erase(key), model.erase(key));
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), model.size());
+  }
+  for (const auto& [key, val] : model) {
+    auto* it = m.find(key);
+    ASSERT_NE(it, m.end()) << "key " << key << " missing after churn";
+    EXPECT_EQ(it->second, val);
+  }
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    if (model.find(key) == model.end()) {
+      EXPECT_EQ(m.find(key), m.end()) << "ghost key " << key;
+    }
+  }
+}
+
+TEST(FlatMap, LookupAtMaxLoad) {
+  // reserve(n) promises the first n inserts never rehash, which parks the
+  // table exactly at its 7/8 load ceiling: every probe chain is as long as
+  // it will ever get.  All keys must still be found, and misses must still
+  // terminate (an empty slot is guaranteed below capacity).
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kCount = 448;  // 7/8 of a 512-slot table
+  m.reserve(kCount);
+  for (std::uint64_t k = 0; k < kCount; ++k) m[k * 0x10001ULL] = k;
+  ASSERT_EQ(m.size(), kCount);
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    auto* it = m.find(k * 0x10001ULL);
+    ASSERT_NE(it, m.end()) << "key " << k << " lost at max load";
+    EXPECT_EQ(it->second, k);
+  }
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    EXPECT_EQ(m.find(k * 0x10001ULL + 1), m.end());
+  }
+}
+
+TEST(FlatMap, ClearResetsTombstones) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 64; ++k) m[k] = 1;
+  for (std::uint64_t k = 0; k < 64; ++k) m.erase(k);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  for (std::uint64_t k = 0; k < 64; ++k) m[k] = 2;
+  EXPECT_EQ(m.size(), 64u);
+  ASSERT_NE(m.find(63), m.end());
+  EXPECT_EQ(m.find(63)->second, 2);
+}
+
+}  // namespace
+}  // namespace v

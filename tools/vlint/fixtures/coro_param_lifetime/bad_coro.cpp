@@ -1,0 +1,32 @@
+// Seeded coro-param-lifetime violations.
+//
+// 1. Client::announce takes the name by string_view and uses it after the
+//    first suspension point without a V_BORROWS_SPAN annotation: the
+//    caller's temporary may be gone by the time the coroutine resumes.
+// 2. Client::flush_later builds a CAPTURING lambda that is itself a
+//    coroutine: the closure object is a temporary that dies at the first
+//    suspension, taking its captures with it.
+#include "common/annotate.hpp"
+
+namespace v::svc {
+
+sim::Co<void> Client::announce(ipc::Process& self, std::string_view name,
+                               std::span<const std::byte> payload) {
+  co_await self.compute(self.params().send_build);
+  Message request;
+  request.set_code(RequestCode::kModifyName);
+  msg::cs::set_name_length(request,
+                           static_cast<std::uint16_t>(name.size()));
+  ipc::Segments segments;
+  segments.read = payload;
+  co_await self.send(request, server_, segments);
+}
+
+void Client::flush_later(sim::EventLoop& loop, std::string text) {
+  loop.schedule_after(10, [this, text]() -> sim::Co<void> {
+    co_await self_.compute(1);
+    buffer_.append(text);
+  });
+}
+
+}  // namespace v::svc

@@ -1,0 +1,41 @@
+// Seeded gate-generation violations.
+//
+// 1. BadServer::modify is annotated V_GATED_MUTATION but has a success
+//    path (the else arm) that never calls note_name_write.
+// 2. BadServer::remove is a mutation hook override that is not annotated
+//    V_GATED_MUTATION at all.
+// 3. BadServer::serve calls the gated hook modify() without bumping the
+//    context generation and without being a gated hook itself.
+#include "common/annotate.hpp"
+
+namespace v::servers {
+
+V_GATED_MUTATION
+sim::Co<ReplyCode> BadServer::modify(ipc::Process& self, ContextId ctx,
+                                     std::string_view leaf,
+                                     const ObjectDescriptor& desc) {
+  if (!table_.contains(leaf)) co_return ReplyCode::kNotFound;
+  if (desc.type == DescriptorType::kFile) {
+    note_name_write(self, ctx, leaf);
+    table_[std::string(leaf)] = desc;
+    co_return ReplyCode::kOk;
+  }
+  table_[std::string(leaf)] = desc;
+  co_return ReplyCode::kOk;  // success, but note_name_write was skipped
+}
+
+sim::Co<ReplyCode> BadServer::remove(ipc::Process& self, ContextId ctx,
+                                     std::string_view leaf) {
+  table_.erase(std::string(leaf));
+  co_return ReplyCode::kOk;
+}
+
+sim::Co<void> BadServer::serve(ipc::Process& self, ContextId ctx,
+                               std::string_view leaf,
+                               const ObjectDescriptor& desc) {
+  const auto code = co_await modify(self, ctx, leaf, desc);
+  self.reply(msg::make_reply(code), self.pid());
+  co_return;
+}
+
+}  // namespace v::servers

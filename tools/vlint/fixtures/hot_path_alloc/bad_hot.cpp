@@ -1,0 +1,27 @@
+// Seeded hot-path-alloc violations.
+//
+// Loop::dispatch is annotated V_HOT_PATH but:
+// 1. reaches operator new (a per-event heap allocation),
+// 2. constructs a std::function (which heap-allocates any capture larger
+//    than the libstdc++ small-object threshold),
+// 3. mutates a node-based container member (per-insert node allocation),
+// 4. calls a project function (cold_rebuild) that is not V_HOT_PATH.
+#include "common/annotate.hpp"
+
+namespace v::sim {
+
+void Loop::cold_rebuild() {
+  index_.clear();
+  for (const auto& e : events_) index_.emplace(e.at, e.id);
+}
+
+V_HOT_PATH
+void Loop::dispatch(Event& ev) {
+  auto* shadow = new Event(ev);
+  pending_by_time.insert({ev.at, shadow});
+  std::function<void()> run = [shadow] { shadow->fire(); };
+  run();
+  cold_rebuild();
+}
+
+}  // namespace v::sim

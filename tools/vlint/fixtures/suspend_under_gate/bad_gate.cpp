@@ -1,0 +1,35 @@
+// Seeded suspend-under-gate violations.
+//
+// 1. BadServer::gated_rename co_awaits a kernel send while the GateLock
+//    guard is live: the worker holds the per-(context,leaf) mutation gate
+//    across an unbounded remote transaction, serializing every other
+//    mutation on the pair behind a network round trip.
+// 2. BadServer::take_work is annotated V_NO_SUSPEND but contains a
+//    suspension point.
+#include "common/annotate.hpp"
+
+namespace v::servers {
+
+sim::Co<ReplyCode> BadServer::gated_rename(ipc::Process& self, ContextId ctx,
+                                           std::string_view leaf,
+                                           std::string_view new_name) {
+  GateLock gate(*this, self, ctx, leaf);
+  co_await gate;
+  // Holding the gate across a Send: banned.
+  const Message ack = co_await self.send(make_probe(new_name), peer_);
+  if (ack.reply_code() != ReplyCode::kOk) co_return ack.reply_code();
+  note_name_write(self, ctx, leaf);
+  co_return ReplyCode::kOk;
+}
+
+V_NO_SUSPEND
+sim::Co<ipc::Envelope> BadServer::take_work(ipc::Process& self) {
+  while (work_queue_.empty()) {
+    co_await self.wait_on(work_ready_);
+  }
+  ipc::Envelope env = std::move(work_queue_.front());
+  work_queue_.pop_front();
+  co_return env;
+}
+
+}  // namespace v::servers

@@ -1,0 +1,33 @@
+// Seeded wire-format violations against the fixture PROTOCOL.md:
+// 1. kOffContextId is defined at offset 10, but the table documents 8.
+// 2. expected generation is accessed with u16 accessors, but the table
+//    documents a u32 field.
+#pragma once
+
+namespace v::msg::cs {
+
+inline constexpr std::size_t kOffCode = 0;
+inline constexpr std::size_t kOffNameIndex = 2;
+inline constexpr std::size_t kOffNameLength = 4;
+inline constexpr std::size_t kOffMode = 6;
+inline constexpr std::size_t kOffContextId = 10;  // drifted from the doc
+inline constexpr std::size_t kOffExpectedGen = 24;
+inline constexpr std::size_t kOffCsFlags = 28;
+
+inline std::uint16_t name_index(const Message& m) noexcept {
+  return m.u16(kOffNameIndex);
+}
+inline std::uint32_t context_id(const Message& m) noexcept {
+  return m.u32(kOffContextId);
+}
+inline std::uint32_t expected_generation(const Message& m) noexcept {
+  return m.u16(kOffExpectedGen);  // wrong width: doc says u32
+}
+inline void set_expected_generation(Message& m, std::uint32_t gen) noexcept {
+  m.set_u16(kOffExpectedGen, static_cast<std::uint16_t>(gen));
+}
+inline std::uint8_t cs_flags(const Message& m) noexcept {
+  return static_cast<std::uint8_t>(m.raw()[kOffCsFlags]);
+}
+
+}  // namespace v::msg::cs

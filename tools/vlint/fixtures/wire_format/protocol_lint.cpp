@@ -1,0 +1,9 @@
+// Fixture lint pin: the static_assert pins the pre-kQuotaFull max value.
+#include "protocol_lint.hpp"
+
+namespace v::chk {
+
+static_assert(kMaxReplyCode == 3,
+              "ReplyCode grew: update the protocol lint decoder");
+
+}  // namespace v::chk

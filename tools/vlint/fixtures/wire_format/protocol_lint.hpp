@@ -1,0 +1,12 @@
+// Fixture lint pin: still names kTimeout as the max enumerator although
+// kQuotaFull was added above it.
+#pragma once
+
+#include "reply_codes.hpp"
+
+namespace v::chk {
+
+inline constexpr std::uint16_t kMaxReplyCode =
+    static_cast<std::uint16_t>(v::ReplyCode::kTimeout);
+
+}  // namespace v::chk

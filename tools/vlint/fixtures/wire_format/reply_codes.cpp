@@ -1,0 +1,16 @@
+// Fixture decoder: missing the case for ReplyCode::kQuotaFull.
+#include "reply_codes.hpp"
+
+namespace v {
+
+const char* to_string(ReplyCode code) {
+  switch (code) {
+    case ReplyCode::kOk: return "kOk";
+    case ReplyCode::kNotFound: return "kNotFound";
+    case ReplyCode::kBadArgs: return "kBadArgs";
+    case ReplyCode::kTimeout: return "kTimeout";
+  }
+  return "unknown";
+}
+
+}  // namespace v

@@ -1,0 +1,15 @@
+// Fixture reply-code registry.  kQuotaFull is the seeded newcomer: it was
+// added here but never taught to the decoder or the protocol lint pins.
+#pragma once
+
+namespace v {
+
+enum class ReplyCode : std::uint16_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadArgs = 2,
+  kTimeout = 3,
+  kQuotaFull = 7,  // new code: decoder and lint pins were not updated
+};
+
+}  // namespace v
