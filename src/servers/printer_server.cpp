@@ -158,8 +158,8 @@ sim::Co<ReplyCode> PrinterServer::remove(ipc::Process& self,
   co_return ReplyCode::kOk;
 }
 
-sim::Co<Result<std::unique_ptr<io::InstanceObject>>>
 V_BORROWS_SPAN
+sim::Co<Result<std::unique_ptr<io::InstanceObject>>>
 PrinterServer::open_object(ipc::Process& self, naming::ContextId ctx,
                            std::string_view leaf, std::uint16_t mode) {
   if (!jobs_.contains(leaf)) {
