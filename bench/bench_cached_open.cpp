@@ -169,6 +169,10 @@ int main(int argc, char** argv) {
 
   bench::headline("E4-cached", "validated cached open (one-hop warm hits)");
   bench::run_info(0, "SUN 3 Mbit (default)");
+  {
+    const ipc::Domain probe;
+    bench::obs_info(probe);
+  }
 
   HitNumbers hit;
   const double host_ms =

@@ -282,6 +282,10 @@ int main(int argc, char** argv) {
   bench::headline("E11-fault",
                   "reliable transactions on a lossy network (V-fault)");
   bench::run_info(0, "SUN 3 Mbit (default)");
+  {
+    const ipc::Domain probe;
+    bench::obs_info(probe);
+  }
 
   constexpr std::uint64_t kSeed = 0xFA07B000ULL;
   int wrong = 0, gave_up = 0;

@@ -127,6 +127,10 @@ int main(int argc, char** argv) {
   bench::headline("E7",
                   "Server teams: open latency vs worker count (8 clients)");
   bench::run_info(seed, "SunWorkstation3Mbit");
+  {
+    const ipc::Domain probe;
+    bench::obs_info(probe);
+  }
   bench::note("workload: 1 bulk streamer + 7 open/close clients,");
   bench::note("local memory server + remote disk server via prefix server;");
   bench::note("both CSNH servers run the swept team size.");

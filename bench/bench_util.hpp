@@ -64,6 +64,15 @@ class JsonReport {
     cache_fallbacks_ = fallbacks;
     have_cache_stats_ = true;
   }
+  /// Record the observability configuration the run used: the V-trace
+  /// head-sampling keep rate and the flight recorder's per-ring capacity.
+  /// Both come from shells with identical defaults when V_TRACE=OFF, so a
+  /// report carries them in every preset without breaking byte-diffs.
+  void set_obs_info(double sample_rate, std::uint64_t flight_capacity) {
+    obs_sample_rate_ = sample_rate;
+    obs_flight_capacity_ = flight_capacity;
+    have_obs_info_ = true;
+  }
   /// Record one engine-throughput workload (bench_engine): raw event and
   /// message-transaction counts plus the host wall-clock they took.  The
   /// derived events/txns per wall-second are what the CI perf stage gates;
@@ -111,6 +120,13 @@ class JsonReport {
                      static_cast<unsigned long long>(cache_misses_),
                      static_cast<unsigned long long>(cache_stale_),
                      static_cast<unsigned long long>(cache_fallbacks_));
+      }
+      if (have_obs_info_) {
+        std::fprintf(f,
+                     ", \"obs\": {\"sample_rate\": %.4f, "
+                     "\"flight_capacity\": %llu}",
+                     obs_sample_rate_,
+                     static_cast<unsigned long long>(obs_flight_capacity_));
       }
       std::fprintf(f, "},\n");
     }
@@ -208,6 +224,9 @@ class JsonReport {
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_stale_ = 0;
   std::uint64_t cache_fallbacks_ = 0;
+  bool have_obs_info_ = false;
+  double obs_sample_rate_ = 1.0;
+  std::uint64_t obs_flight_capacity_ = 0;
 };
 
 inline void headline(const std::string& id, const std::string& title) {
@@ -241,6 +260,14 @@ inline std::string json_path_from_args(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return {};
+}
+
+/// True when the bare flag (e.g. "--flight") appears anywhere in argv.
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 /// Parse a `--<flag> <value>` option from argv ("" when absent), e.g.
@@ -341,6 +368,18 @@ inline void run_info(std::uint64_t seed, const std::string& calibration) {
               static_cast<unsigned long long>(seed),
               seed == 0 ? "fifo ties" : "fuzzed ties", calibration.c_str());
   JsonReport::instance().set_run_info(seed, calibration);
+}
+
+/// Print and record the observability configuration (V-trace head-sampling
+/// keep rate + flight-recorder ring capacity).  The V_TRACE=OFF shells
+/// answer the same defaults (rate 1.0, capacity kDefaultFlightCapacity),
+/// so checked-in reports stay byte-identical across build presets.
+inline void obs_info(const ipc::Domain& dom) {
+  const double rate = dom.tracer().sampler().rate();
+  const auto cap = static_cast<std::uint64_t>(dom.flight().capacity());
+  std::printf("  obs: sample rate %.2f, flight capacity %llu\n", rate,
+              static_cast<unsigned long long>(cap));
+  JsonReport::instance().set_obs_info(rate, cap);
 }
 
 /// Flush the JSON report if `--json` was given.  Returns the process exit

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Validate the schema of bench --json reports (bench_util.hpp JsonReport).
 
-Usage: check_bench_json.py [--baseline BASELINE.json] report.json [more.json ...]
+Usage: check_bench_json.py [--baseline BASELINE.json]
+                           [--max-regression FRACTION] [--workload NAME]
+                           [--overhead BASE:NEW]
+                           report.json [more.json ...]
 
 Expected shape:
   {
@@ -10,7 +13,9 @@ Expected shape:
       "host_repeats": int > 0,     # optional, paired with host_median_ms
       "host_median_ms": number,
       "namecache": {"hits": int, "misses": int,
-                    "stale": int, "fallbacks": int}   # optional
+                    "stale": int, "fallbacks": int},  # optional
+      "obs": {"sample_rate": number in [0,1],         # optional
+              "flight_capacity": int}
     },
     "engine": [                    # optional (bench_engine throughput)
       {"workload": str, "events": int, "txns": int,
@@ -28,7 +33,15 @@ Expected shape:
 With --baseline, every workload in the baseline's "engine" array must also
 appear in each report with events_per_wall_second no more than 25% below
 the baseline value (the CI perf gate: host timing is noisy, a quarter is
-not noise).
+not noise).  --max-regression tightens or loosens that fraction, and
+--workload restricts the comparison to one named workload.
+
+--overhead BASE:NEW compares two workloads WITHIN each report instead:
+NEW's events_per_wall_second must be within --max-regression of BASE's.
+The obs stage uses this for the flight-recorder gate
+(--max-regression 0.05 --overhead timer-churn:timer-churn-flight):
+both workloads run back to back in one process, so the ratio isolates
+the recorder's cost from cross-run machine noise.
 """
 import json
 import sys
@@ -79,6 +92,19 @@ def check(path):
                     return fail(
                         path, f'"run.namecache.{key}" must be a non-negative '
                         "int")
+        obs = run.get("obs")
+        if obs is not None:
+            if not isinstance(obs, dict):
+                return fail(path, '"run.obs" must be an object')
+            rate = obs.get("sample_rate")
+            if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                return fail(
+                    path, '"run.obs.sample_rate" must be a number in [0, 1]')
+            cap = obs.get("flight_capacity")
+            if not isinstance(cap, int) or cap < 0:
+                return fail(
+                    path,
+                    '"run.obs.flight_capacity" must be a non-negative int')
 
     engine = doc.get("engine")
     if engine is not None:
@@ -141,9 +167,9 @@ def check(path):
     return 0
 
 
-def check_baseline(baseline_path, report_path):
-    """Perf gate: report throughput must stay within MAX_REGRESSION of the
-    checked-in baseline for every engine workload."""
+def check_baseline(baseline_path, report_path, max_regression, workload):
+    """Perf gate: report throughput must stay within max_regression of the
+    checked-in baseline, for every engine workload (or just `workload`)."""
     with open(baseline_path) as f:
         base = {wl["workload"]: wl
                 for wl in json.load(f).get("engine", [])}
@@ -152,6 +178,11 @@ def check_baseline(baseline_path, report_path):
                for wl in json.load(f).get("engine", [])}
     if not base:
         return fail(baseline_path, 'baseline has no "engine" workloads')
+    if workload is not None:
+        if workload not in base:
+            return fail(baseline_path,
+                        f'workload "{workload}" not in baseline')
+        base = {workload: base[workload]}
     rc = 0
     for name, bwl in sorted(base.items()):
         if name not in new:
@@ -159,32 +190,90 @@ def check_baseline(baseline_path, report_path):
             continue
         base_eps = bwl["events_per_wall_second"]
         new_eps = new[name]["events_per_wall_second"]
-        floor = base_eps * (1.0 - MAX_REGRESSION)
+        floor = base_eps * (1.0 - max_regression)
         verdict = "OK  " if new_eps >= floor else "FAIL"
         print(f"{verdict} perf {name}: {new_eps:,.0f} events/s "
               f"(baseline {base_eps:,.0f}, floor {floor:,.0f})")
         if new_eps < floor:
             rc = fail(
                 report_path,
-                f'"{name}" regressed >{MAX_REGRESSION:.0%}: '
+                f'"{name}" regressed >{max_regression:.0%}: '
                 f"{new_eps:,.0f} < {floor:,.0f} events/s")
     return rc
 
 
+def check_overhead(report_path, base_name, new_name, max_regression):
+    """Within-report gate: workload `new_name` must be within
+    max_regression of workload `base_name` (events_per_wall_second)."""
+    with open(report_path) as f:
+        engine = {wl["workload"]: wl
+                  for wl in json.load(f).get("engine", [])}
+    for name in (base_name, new_name):
+        if name not in engine:
+            return fail(report_path, f'workload "{name}" not in report')
+    base_eps = engine[base_name]["events_per_wall_second"]
+    new_eps = engine[new_name]["events_per_wall_second"]
+    if base_eps <= 0:
+        return fail(report_path, f'"{base_name}" has zero throughput')
+    floor = base_eps * (1.0 - max_regression)
+    overhead = 1.0 - new_eps / base_eps
+    verdict = "OK  " if new_eps >= floor else "FAIL"
+    print(f"{verdict} overhead {new_name} vs {base_name}: "
+          f"{new_eps:,.0f} vs {base_eps:,.0f} events/s "
+          f"({overhead:+.1%}, budget {max_regression:.0%})")
+    if new_eps < floor:
+        return fail(
+            report_path,
+            f'"{new_name}" costs >{max_regression:.0%} over "{base_name}": '
+            f"{new_eps:,.0f} < {floor:,.0f} events/s")
+    return 0
+
+
 def main(argv):
     baseline = None
-    if len(argv) >= 2 and argv[1] == "--baseline":
-        if len(argv) < 4:
+    max_regression = MAX_REGRESSION
+    workload = None
+    overhead = None
+    args = argv[1:]
+    while args and args[0].startswith("--"):
+        if len(args) < 2:
             print(__doc__, file=sys.stderr)
             return 2
-        baseline = argv[2]
-        argv = argv[:1] + argv[3:]
-    if len(argv) < 2:
+        flag, value = args[0], args[1]
+        if flag == "--baseline":
+            baseline = value
+        elif flag == "--max-regression":
+            try:
+                max_regression = float(value)
+            except ValueError:
+                print(__doc__, file=sys.stderr)
+                return 2
+            if not 0.0 < max_regression < 1.0:
+                print("--max-regression must be in (0, 1)", file=sys.stderr)
+                return 2
+        elif flag == "--workload":
+            workload = value
+        elif flag == "--overhead":
+            if ":" not in value:
+                print("--overhead expects BASE:NEW workload names",
+                      file=sys.stderr)
+                return 2
+            overhead = tuple(value.split(":", 1))
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+        args = args[2:]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    rc = max(check(p) for p in argv[1:])
+    rc = max(check(p) for p in args)
     if baseline is not None:
-        rc = max([rc] + [check_baseline(baseline, p) for p in argv[1:]])
+        rc = max([rc] + [check_baseline(baseline, p, max_regression, workload)
+                         for p in args])
+    if overhead is not None:
+        rc = max([rc] + [check_overhead(p, overhead[0], overhead[1],
+                                        max_regression)
+                         for p in args])
     return rc
 
 

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Validate a V-trace Chrome trace-event export.
 
-Usage: check_trace_json.py <trace.json>
+Usage: check_trace_json.py [--flight] <trace.json>
 
 Checks that the file is valid JSON in the trace-event "JSON object format"
 (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
 a top-level object with a non-empty "traceEvents" list whose entries carry
 the keys Perfetto needs, that duration events nest sanely, and that the
 span tree contains at least one complete send -> hop chain.
+
+With --flight the document is a flight-recorder post-mortem instead of a
+resolution trace: the category requirement becomes "at least one
+flight-* category" (the recorder emits zero-duration instants, one
+category per FlightKind, rather than send/hop/queue/service spans).
 """
 import json
 import sys
@@ -19,9 +24,14 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_trace_json.py <trace.json>")
-    path = sys.argv[1]
+    args = sys.argv[1:]
+    flight = False
+    if args and args[0] == "--flight":
+        flight = True
+        args = args[1:]
+    if len(args) != 1:
+        fail("usage: check_trace_json.py [--flight] <trace.json>")
+    path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -56,10 +66,15 @@ def main():
 
     if durations == 0:
         fail("no duration ('X') events recorded")
-    for needed in ("send", "hop", "queue", "service"):
-        if needed not in categories:
-            fail(f"no {needed!r}-category span in the export "
+    if flight:
+        if not any(c.startswith("flight-") for c in categories):
+            fail(f"no flight-* category in the dump "
                  f"(saw: {sorted(categories)})")
+    else:
+        for needed in ("send", "hop", "queue", "service"):
+            if needed not in categories:
+                fail(f"no {needed!r}-category span in the export "
+                     f"(saw: {sorted(categories)})")
 
     print(f"check_trace_json: OK: {durations} duration events, "
           f"categories {sorted(c for c in categories if c)}")

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "msg/csname.hpp"
 #include "sim/frame_pool.hpp"
 #include "common/annotate.hpp"
 
@@ -52,15 +53,31 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
   Envelope env{pid_, request, segments, {}, {},
                static_cast<std::uint32_t>(rec.send_seq), {}};
 #if V_TRACE_ENABLED
+  rec.send_started_at = domain_->now();
+  rec.last_send_code = request.code();
   if (auto& tr = domain_->tracer(); tr.active()) {
-    env.trace.trace_id = tr.begin_trace();
-    const std::uint32_t root =
-        tr.begin_span(env.trace.trace_id, 0,
-                      "send " + obs::opcode_label(request.code()), "send",
-                      pid_.raw, domain_->now());
-    tr.set_process_label(pid_.raw, rec.name);
-    tr.note_send(pid_.raw, root);
-    env.trace.parent_span = root;
+    // Head-based sampling: the keep/skip decision is made HERE, once per
+    // transaction, and rides the envelope — forwarded requests are traced
+    // end-to-end or not at all.  Recovery probes are always kept: they
+    // only exist because something already went wrong.
+    if (msg::cs::is_recovery_probe(request) ||
+        tr.sampler().decide(request.code())) {
+      env.trace.set_sampled();
+      env.trace.trace_id = tr.begin_trace();
+      const std::uint32_t root =
+          tr.begin_span(env.trace.trace_id, 0,
+                        "send " + obs::opcode_label(request.code()), "send",
+                        pid_.raw, domain_->now());
+      tr.set_process_label(pid_.raw, rec.name);
+      tr.note_send(pid_.raw, root);
+      env.trace.parent_span = root;
+    }
+  }
+  domain_->flight_.record(host_id(), obs::FlightKind::kSend, domain_->now(),
+                          pid_.raw, dest.raw, request.code(), rec.send_seq,
+                          env.trace.sampled() ? 1 : 0);
+  if (domain_->wd_threshold_ > 0 && !domain_->wd_armed_) {
+    domain_->arm_watchdog(domain_->now() + domain_->wd_period_);
   }
 #endif
 #if V_FAULT_ENABLED
@@ -91,15 +108,30 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
   Envelope proto{pid_, request, segments, {}, {},
                  static_cast<std::uint32_t>(seq), {}};
 #if V_TRACE_ENABLED
+  rec.send_started_at = domain_->now();
+  rec.last_send_code = request.code();
   if (auto& tr = domain_->tracer(); tr.active()) {
-    proto.trace.trace_id = tr.begin_trace();
-    const std::uint32_t root =
-        tr.begin_span(proto.trace.trace_id, 0,
-                      "send-group " + obs::opcode_label(request.code()),
-                      "send", pid_.raw, domain_->now());
-    tr.set_process_label(pid_.raw, rec.name);
-    tr.note_send(pid_.raw, root);
-    proto.trace.parent_span = root;
+    // Same head decision as send(); see there.  Multicast recovery probes
+    // (svc::Runtime rebinding) are the forced-on case that matters here.
+    if (msg::cs::is_recovery_probe(request) ||
+        tr.sampler().decide(request.code())) {
+      proto.trace.set_sampled();
+      proto.trace.trace_id = tr.begin_trace();
+      const std::uint32_t root =
+          tr.begin_span(proto.trace.trace_id, 0,
+                        "send-group " + obs::opcode_label(request.code()),
+                        "send", pid_.raw, domain_->now());
+      tr.set_process_label(pid_.raw, rec.name);
+      tr.note_send(pid_.raw, root);
+      proto.trace.parent_span = root;
+    }
+  }
+  domain_->flight_.record(host_id(), obs::FlightKind::kSend, domain_->now(),
+                          pid_.raw, static_cast<std::uint32_t>(group),
+                          request.code(), seq,
+                          proto.trace.sampled() ? 1 : 0);
+  if (domain_->wd_threshold_ > 0 && !domain_->wd_armed_) {
+    domain_->arm_watchdog(domain_->now() + domain_->wd_period_);
   }
 #endif
   std::size_t delivered = 0;
@@ -165,6 +197,12 @@ void Process::forward(const Envelope& env, ProcessId new_dest) {
   // The forwarder will never reply to this request itself: settle its
   // outstanding-request ledger entry (duplicate-reply invariant).
   domain_->lint_.note_forwarded(env.addressed.raw, env.sender.raw);
+#if V_TRACE_ENABLED
+  domain_->flight_.record(host_id(), obs::FlightKind::kForward,
+                          domain_->now(), pid_.raw, new_dest.raw,
+                          env.request.code(), env.txn_seq,
+                          env.trace.sampled() ? 1 : 0);
+#endif
   Envelope fwd{env.sender, env.request, env.segments, env.trace, env.origin,
                env.txn_seq, env.addressed};
 #if V_FAULT_ENABLED
@@ -178,6 +216,13 @@ void Process::forward(const Envelope& env, ProcessId new_dest) {
 void Process::forward_to_group(const Envelope& env, GroupId group) {
   ++domain_->stats_.forwards;
   domain_->lint_.note_forwarded(env.addressed.raw, env.sender.raw);
+#if V_TRACE_ENABLED
+  domain_->flight_.record(host_id(), obs::FlightKind::kForward,
+                          domain_->now(), pid_.raw,
+                          static_cast<std::uint32_t>(group),
+                          env.request.code(), env.txn_seq,
+                          env.trace.sampled() ? 1 : 0);
+#endif
 #if V_FAULT_ENABLED
   if (domain_->fault_active()) {
     Envelope noted{env.sender, env.request, env.segments, env.trace,
@@ -357,6 +402,10 @@ std::vector<ProcessId> Host::spawn_team(
 
 void Host::crash() {
   if (!alive_) return;
+#if V_TRACE_ENABLED
+  domain_.flight_.record(id_, obs::FlightKind::kHostDown,
+                         domain_.loop().now(), 0, 0, /*code=*/0, 0);
+#endif
   alive_ = false;
   paused_ = false;
   stash_.clear();  // packets queued behind a pause die with the host
@@ -377,16 +426,28 @@ void Host::crash() {
 void Host::restart() {
   V_CHECK(!alive_);
   alive_ = true;
+#if V_TRACE_ENABLED
+  domain_.flight_.record(id_, obs::FlightKind::kHostUp,
+                         domain_.loop().now(), 0, 0, /*code=*/0, 0);
+#endif
 }
 
 void Host::pause() {
   if (!alive_) return;
   paused_ = true;
+#if V_TRACE_ENABLED
+  domain_.flight_.record(id_, obs::FlightKind::kHostDown,
+                         domain_.loop().now(), 0, 0, /*code=*/1, 0);
+#endif
 }
 
 void Host::resume() {
   if (!paused_) return;
   paused_ = false;
+#if V_TRACE_ENABLED
+  domain_.flight_.record(id_, obs::FlightKind::kHostUp,
+                         domain_.loop().now(), 0, 0, /*code=*/1, 0);
+#endif
   // Flush in arrival order; each packet lands via a fresh zero-delay event
   // so its guards (staleness, duplicate suppression) run at resume time.
   auto stash = std::move(stash_);
@@ -475,6 +536,30 @@ Domain::Domain(CalibrationParams params, std::uint64_t seed)
   // read metrics).
   mirror("frames", "recycled", &sim::FramePool::instance().stats().frames_recycled);
   mirror("frames", "fresh", &sim::FramePool::instance().stats().frames_fresh);
+  // V-blackbox: every event-loop dispatch becomes a kTimer record in the
+  // domain ring (ring 0), so a post-mortem dump shows scheduler activity
+  // between the IPC events.  Host-time cost only, bounded by the ring.
+  loop_.set_fire_hook(
+      [](void* ctx, sim::SimTime at) noexcept {
+        static_cast<Domain*>(ctx)->flight_.record(
+            0, obs::FlightKind::kTimer, at, 0, 0, 0, 0);
+      },
+      this);
+  metrics_.register_callback("flight", "records", [this] {
+    return static_cast<double>(flight_.records());
+  });
+  metrics_.register_callback("flight", "overwritten", [this] {
+    return static_cast<double>(flight_.overwritten());
+  });
+  metrics_.register_callback("flight", "triggers", [this] {
+    return static_cast<double>(flight_.triggers());
+  });
+  metrics_.register_callback("trace", "sampled", [this] {
+    return static_cast<double>(tracer_.sampler().sampled());
+  });
+  metrics_.register_callback("trace", "skipped", [this] {
+    return static_cast<double>(tracer_.sampler().skipped());
+  });
 #endif
 }
 
@@ -483,6 +568,9 @@ Domain::~Domain() = default;
 Host& Domain::add_host(std::string name) {
   const auto id = static_cast<HostId>(hosts_.size() + 1);
   hosts_.push_back(std::make_unique<Host>(*this, id, std::move(name)));
+#if V_TRACE_ENABLED
+  flight_.attach_host(id, hosts_.back()->name());
+#endif
   return *hosts_.back();
 }
 
@@ -548,6 +636,12 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
     const fault::PacketDecision verdict =
         fault_plan_->on_packet(from_host, dest.logical_host());
     if (verdict.duplicate) {
+#if V_TRACE_ENABLED
+      flight_.record(dest.logical_host(), obs::FlightKind::kFaultDup,
+                     loop_.now(), env.sender.raw, dest.raw,
+                     env.request.code(), env.txn_seq,
+                     env.trace.sampled() ? 1 : 0);
+#endif
       // The duplicate copy never synthesizes kNoReply: it is extra traffic,
       // not the transaction's packet of record.
       Envelope copy = env;
@@ -557,7 +651,15 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
             arrive(std::move(copy), dest, /*synth_on_dead=*/false);
           });
     }
-    if (verdict.drop) return;  // retransmission masks the loss
+    if (verdict.drop) {  // retransmission masks the loss
+#if V_TRACE_ENABLED
+      flight_.record(dest.logical_host(), obs::FlightKind::kFaultDrop,
+                     loop_.now(), env.sender.raw, dest.raw,
+                     env.request.code(), env.txn_seq,
+                     env.trace.sampled() ? 1 : 0);
+#endif
+      return;
+    }
     hop += verdict.extra_delay;
   }
 #endif
@@ -663,13 +765,25 @@ void Domain::send_reply_packet(HostId from_host, const msg::Message& reply,
     const fault::PacketDecision verdict =
         fault_plan_->on_packet(from_host, to.logical_host());
     if (verdict.duplicate) {
+#if V_TRACE_ENABLED
+      flight_.record(to.logical_host(), obs::FlightKind::kFaultDup,
+                     loop_.now(), to.raw, 0,
+                     static_cast<std::uint16_t>(reply.code()), answered_seq);
+#endif
       loop_.schedule_after(
           hop + verdict.extra_delay + verdict.dup_delay,
           [this, reply, to, hint, origin, answered_seq] {
             arrive_reply(to, reply, hint, origin, answered_seq);
           });
     }
-    if (verdict.drop) return;  // the client's retransmit re-earns the reply
+    if (verdict.drop) {  // the client's retransmit re-earns the reply
+#if V_TRACE_ENABLED
+      flight_.record(to.logical_host(), obs::FlightKind::kFaultDrop,
+                     loop_.now(), to.raw, 0,
+                     static_cast<std::uint16_t>(reply.code()), answered_seq);
+#endif
+      return;
+    }
     hop += verdict.extra_delay;
   }
 #endif
@@ -726,6 +840,23 @@ void Domain::complete_reply(ProcessId to, const msg::Message& reply,
   rec->reply_hint = hint;      // {} for unhinted and synthesized replies
   rec->reply_origin = origin;
 #if V_TRACE_ENABLED
+  if (rec->send_started_at >= 0) {
+    const sim::SimTime now = loop_.now();
+    const sim::SimDuration took = now - rec->send_started_at;
+    slo_.observe(rec->last_send_code, took);
+    flight_.record(to.logical_host(), obs::FlightKind::kReply, now, to.raw,
+                   0, static_cast<std::uint16_t>(reply.code()),
+                   static_cast<std::uint64_t>(took));
+    // Tail mark for anomalies head sampling skipped: a failed send with
+    // no open root span (unsampled) still leaves a closed "mark" span.
+    if (tracer_.active() && reply.reply_code() != ReplyCode::kOk &&
+        tracer_.open_send(to.raw) == 0) {
+      tracer_.note_error_reply(to.raw,
+                               static_cast<std::uint16_t>(reply.code()),
+                               rec->send_started_at, now);
+    }
+    rec->send_started_at = -1;
+  }
   // One outstanding Send per process, so the sender pid keys the open root
   // span; closing it here covers Reply, Forward chains and synthesized
   // replies alike.
@@ -828,6 +959,13 @@ void Domain::schedule_retransmit(Envelope env, ProcessId dest,
     if (remaining == 0) {
       // Budget exhausted: only now does the transport admit defeat.
       ++fault_plan_->stats().budget_exhausted;
+#if V_TRACE_ENABLED
+      flight_.record(env.sender.logical_host(),
+                     obs::FlightKind::kBudgetExhausted, loop_.now(),
+                     env.sender.raw, dest.raw, env.request.code(), 0,
+                     env.trace.sampled() ? 1 : 0);
+      flight_.trigger(obs::kDumpRetryExhausted, loop_.now());
+#endif
       complete_reply(env.sender, msg::make_reply(ReplyCode::kNoReply));
       return;
     }
@@ -835,6 +973,20 @@ void Domain::schedule_retransmit(Envelope env, ProcessId dest,
     ++stats_.messages_sent;
     ++stats_.remote_messages;
 #if V_TRACE_ENABLED
+    if (tracer_.active() && env.trace.trace_id == 0) {
+      // Late promotion: a transaction that needed a retransmit is exactly
+      // the kind head sampling should not have skipped.  Open its root
+      // span now — hops already taken are gone (head sampling cannot
+      // resurrect them), but every hop from this retransmit on is traced.
+      env.trace.set_sampled();
+      env.trace.trace_id = tracer_.begin_trace();
+      const std::uint32_t root = tracer_.begin_span(
+          env.trace.trace_id, 0,
+          "send " + obs::opcode_label(env.request.code()) + " (promoted)",
+          "send", env.sender.raw, loop_.now());
+      tracer_.note_send(env.sender.raw, root);
+      env.trace.parent_span = root;
+    }
     if (tracer_.active() && env.trace.trace_id != 0) {
       const std::uint32_t span =
           tracer_.begin_span(env.trace.trace_id, env.trace.parent_span,
@@ -842,6 +994,10 @@ void Domain::schedule_retransmit(Envelope env, ProcessId dest,
                              loop_.now());
       tracer_.end_span(span, loop_.now());
     }
+    flight_.record(env.sender.logical_host(), obs::FlightKind::kRetransmit,
+                   loop_.now(), env.sender.raw, dest.raw,
+                   env.request.code(), remaining,
+                   env.trace.sampled() ? 1 : 0);
 #endif
     Envelope copy = env;
     deliver(env.sender.logical_host(), std::move(copy), dest);
@@ -945,6 +1101,65 @@ std::uint32_t Domain::record_served_reply(ProcessId to,
 #endif  // V_FAULT_ENABLED
 
 #if V_TRACE_ENABLED
+
+void Domain::set_latency_slo(std::uint16_t code, sim::SimDuration budget) {
+  const bool fresh = slo_.find(code) == nullptr;
+  slo_.set_budget(code, budget);
+  if (!fresh) return;  // budget updated; mirrors already registered
+  const std::string label = obs::opcode_label(code);
+  metrics_.register_callback("slo", label + ".within", [this, code] {
+    const auto* s = slo_.find(code);
+    return s != nullptr ? static_cast<double>(s->within) : 0.0;
+  });
+  metrics_.register_callback("slo", label + ".over", [this, code] {
+    const auto* s = slo_.find(code);
+    return s != nullptr ? static_cast<double>(s->over) : 0.0;
+  });
+}
+
+void Domain::enable_watchdog(sim::SimDuration threshold,
+                             sim::SimDuration period) {
+  wd_threshold_ = threshold;
+  wd_period_ = period > 0 ? period : threshold / 2;
+  if (wd_period_ <= 0) wd_period_ = 1;
+  if (wd_threshold_ > 0 && !wd_armed_) {
+    arm_watchdog(loop_.now() + wd_period_);
+  }
+}
+
+void Domain::arm_watchdog(sim::SimTime at) {
+  wd_armed_ = true;
+  loop_.schedule_at(at, [this] { watchdog_scan(); });
+}
+
+void Domain::watchdog_scan() {
+  wd_armed_ = false;
+  if (wd_threshold_ <= 0) return;
+  const sim::SimTime now = loop_.now();
+  bool outstanding = false;
+  for (const auto& rec : records_) {
+    if (!rec->alive || !rec->awaiting_reply || rec->send_started_at < 0) {
+      continue;
+    }
+    outstanding = true;
+    const sim::SimDuration blocked = now - rec->send_started_at;
+    if (blocked > wd_threshold_) {
+      // One trip per arm: record the first overdue fiber, dump, disarm —
+      // a wedged run should yield one post-mortem, not a dump per period.
+      ++wd_trips_;
+      flight_.record(rec->pid.logical_host(), obs::FlightKind::kWatchdog,
+                     now, rec->pid.raw, rec->blocked_on.raw,
+                     rec->last_send_code, static_cast<std::uint64_t>(blocked));
+      flight_.trigger(obs::kDumpWatchdog, now);
+      wd_threshold_ = 0;
+      return;
+    }
+  }
+  // Dormancy: with no outstanding send there is nothing to watch — stop
+  // rescheduling so run_until_idle() can drain; Process::send re-arms.
+  if (outstanding) arm_watchdog(now + wd_period_);
+}
+
 std::vector<Domain::FiberHotspot> Domain::top_fibers(std::size_t k) const {
   std::vector<FiberHotspot> rows;
   rows.reserve(records_.size());

@@ -32,6 +32,7 @@
 #include "chk/protocol_lint.hpp"
 #include "common/result.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "ipc/calibration.hpp"
@@ -157,6 +158,13 @@ struct ProcessRecord {
                              ///< forward delivery); used by crash sweeps
   std::uint64_t send_seq = 0;  ///< distinguishes sends for timeout events
   Segments exposed;            ///< segments of the in-flight send
+
+#if V_TRACE_ENABLED
+  /// Observability bookkeeping for the in-flight send: when it started
+  /// (SLO latency, watchdog overdue checks) and its opcode (SLO bucket).
+  sim::SimTime send_started_at = -1;
+  std::uint16_t last_send_code = 0;
+#endif
 
 #if V_FAULT_ENABLED
   /// Server-side duplicate suppression: one transaction slot per client
@@ -452,6 +460,47 @@ class Domain {
     return metrics_;
   }
 
+  /// V-blackbox flight recorder: always-on per-host rings of compact
+  /// event records, dumped on failure triggers (obs/flight.hpp).  A
+  /// configuration-only shell with V_TRACE=OFF.
+  [[nodiscard]] obs::FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+
+#if V_TRACE_ENABLED
+  /// Give `code` a latency SLO: every completed Send of that opcode
+  /// counts as within/over `budget` (simulated ns), readable as
+  /// `[metrics] slo/<opcode>.within` and `.over`.
+  void set_latency_slo(std::uint16_t code, sim::SimDuration budget);
+  [[nodiscard]] const obs::SloTracker& slo() const noexcept { return slo_; }
+
+  /// Arm the event-loop watchdog: every `period` (default threshold/2) a
+  /// scheduled scan looks for a fiber blocked in Send longer than
+  /// `threshold` simulated time; the first such fiber records a
+  /// kWatchdog flight event, fires a dump trigger, and disarms the
+  /// watchdog (one trip per arm).  CSNH gate releases also compare their
+  /// hold time against `threshold`.  OPT-IN because the scan schedules
+  /// real events: the event sequence (and thus fuzz tie-breaking) shifts,
+  /// so runs with the watchdog are deterministic per seed but not
+  /// bit-comparable to runs without it.
+  void enable_watchdog(sim::SimDuration threshold,
+                       sim::SimDuration period = 0);
+  [[nodiscard]] sim::SimDuration watchdog_threshold() const noexcept {
+    return wd_threshold_;
+  }
+  [[nodiscard]] std::uint64_t watchdog_trips() const noexcept {
+    return wd_trips_;
+  }
+#else
+  void set_latency_slo(std::uint16_t, sim::SimDuration) noexcept {}
+  void enable_watchdog(sim::SimDuration, sim::SimDuration = 0) noexcept {}
+  [[nodiscard]] sim::SimDuration watchdog_threshold() const noexcept {
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t watchdog_trips() const noexcept { return 0; }
+#endif
+
 #if V_FAULT_ENABLED
   /// Arm the V-fault machinery: schedule the plan's host lifecycle events,
   /// apply its link faults to every remote packet, and turn on reliable
@@ -576,6 +625,18 @@ class Domain {
   chk::ProtocolLint lint_;
   obs::TraceSink tracer_;
   obs::MetricsRegistry metrics_;
+  obs::FlightRecorder flight_;
+#if V_TRACE_ENABLED
+  obs::SloTracker slo_;
+  // Watchdog state (enable_watchdog): scans are self-rescheduling events
+  // that go dormant when nothing is blocked, so an idle loop still drains.
+  void watchdog_scan();
+  void arm_watchdog(sim::SimTime at);
+  sim::SimDuration wd_threshold_ = 0;  ///< 0 = watchdog disabled
+  sim::SimDuration wd_period_ = 0;
+  bool wd_armed_ = false;
+  std::uint64_t wd_trips_ = 0;
+#endif
 #if V_FAULT_ENABLED
   fault::FaultPlan* fault_plan_ = nullptr;
   /// client pid -> server record currently holding its transaction slot

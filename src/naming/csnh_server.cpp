@@ -253,10 +253,24 @@ bool CsnhServer::mutates_name(std::uint16_t code,
   }
 }
 
+std::uint64_t CsnhServer::GateLock::key_hash() const noexcept {
+  std::uint64_t h = 14695981039346656037ULL ^ key_.first;
+  for (char c : key_.second) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
 void CsnhServer::GateLock::note_acquired() const {
   domain_.checks().gate_acquired(
       &server_, key_.first, key_.second, pid_.raw,
       static_cast<std::uint64_t>(domain_.loop().now()));
+#if V_TRACE_ENABLED
+  Gate& gate = server_.gates_[key_];
+  gate.held_since = domain_.loop().now();
+  domain_.flight().record(pid_.logical_host(), obs::FlightKind::kGateAcquire,
+                          gate.held_since, pid_.raw, 0, 0, key_hash());
+#endif
 }
 
 bool CsnhServer::GateLock::await_ready() {
@@ -291,6 +305,24 @@ CsnhServer::GateLock::~GateLock() {
     if (!gate.held && gate.waiters.empty()) server_.gates_.erase(it);
     return;
   }
+#if V_TRACE_ENABLED
+  {
+    const sim::SimTime rel_now = domain_.loop().now();
+    const sim::SimDuration held = rel_now - gate.held_since;
+    domain_.flight().record(pid_.logical_host(),
+                            obs::FlightKind::kGateRelease, rel_now, pid_.raw,
+                            0, 0, static_cast<std::uint64_t>(held));
+    // Gate-hold watchdog: a mutation gate held past the domain threshold
+    // is exactly the serialization stall the watchdog exists to surface.
+    if (domain_.watchdog_threshold() > 0 &&
+        held > domain_.watchdog_threshold()) {
+      domain_.flight().record(pid_.logical_host(), obs::FlightKind::kWatchdog,
+                              rel_now, pid_.raw, 0, 0,
+                              static_cast<std::uint64_t>(held));
+      domain_.flight().trigger(obs::kDumpWatchdog, rel_now);
+    }
+  }
+#endif
   // Hand the gate to the next waiter (FIFO) or retire it.
   while (!gate.waiters.empty()) {
     GateLock* next = gate.waiters.front();

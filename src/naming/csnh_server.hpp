@@ -344,6 +344,7 @@ class CsnhServer {
   struct GateLock;
   struct Gate {
     bool held = false;
+    sim::SimTime held_since = 0;    ///< acquisition time of current holder
     std::deque<GateLock*> waiters;  ///< FIFO grant order
   };
 
@@ -370,6 +371,10 @@ class CsnhServer {
 
     /// Record this lock's process as the gate holder in the ledger.
     void note_acquired() const;
+
+    /// Stable hash of the (ctx, leaf) key — the flight recorder's gate
+    /// identity (FNV-1a, so dumps are identical across hosts/builds).
+    [[nodiscard]] std::uint64_t key_hash() const noexcept;
 
     CsnhServer& server_;
     ipc::Domain& domain_;

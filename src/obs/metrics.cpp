@@ -94,13 +94,13 @@ std::string MetricsRegistry::render(const Metric& metric) {
     case Metric::Kind::kCallback:
       return metric.callback ? number_text(metric.callback()) : "0";
     case Metric::Kind::kHistogram: {
-      const sim::Accumulator& acc = metric.histogram.data();
-      if (acc.empty()) return "count=0";
+      const LogHistogram& hist = metric.histogram.data();
+      if (hist.empty()) return "count=0";
       char buf[160];
       std::snprintf(buf, sizeof buf,
                     "count=%zu mean=%.4f p50=%.4f p99=%.4f max=%.4f",
-                    acc.count(), acc.mean(), acc.percentile(0.5),
-                    acc.percentile(0.99), acc.max());
+                    hist.count(), hist.mean(), hist.percentile(0.5),
+                    hist.percentile(0.99), hist.max());
       return buf;
     }
   }

@@ -30,11 +30,14 @@
 #include <vector>
 
 #if V_TRACE_ENABLED
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
 
-#include "sim/stats.hpp"
+#include "common/annotate.hpp"
+#include "sim/time.hpp"
 #endif
 
 namespace v::obs {
@@ -68,14 +71,173 @@ class Gauge {
   std::int64_t high_water_ = 0;
 };
 
-/// Sample distribution (count/mean/percentiles via sim::Accumulator).
-class Histogram {
+/// HdrHistogram-style log-bucketed histogram: 16 linear sub-buckets per
+/// power-of-two octave over a 64-bit value range, so record() is a couple
+/// of bit operations into a fixed ~7.6 KiB table and percentile reads
+/// carry at most 1/16 ≈ 6.25% relative error.  This replaced the metrics
+/// registry's sim::Accumulator in PR 8: storing every sample and sorting
+/// per read is fine for a 20-row bench table and fatal for millions of
+/// E12 opens.  Values are non-negative doubles (typically simulated
+/// milliseconds), quantized to 1/1024 of the input unit (~1 µs for ms).
+class LogHistogram {
  public:
-  void add(double v) { acc_.add(v); }
-  [[nodiscard]] const sim::Accumulator& data() const noexcept { return acc_; }
+  static constexpr int kSubBucketBits = 4;  ///< 16 sub-buckets per octave
+  static constexpr double kQuantum = 1024.0;  ///< count units per input unit
+
+  V_HOT_PATH
+  void record(double v) noexcept {
+    if (!(v > 0.0)) v = 0.0;  // negatives and NaN clamp to the zero bucket
+    const double scaled = v * kQuantum;
+    const std::uint64_t u =
+        scaled >= 18446744073709549568.0  // largest double below 2^64
+            ? ~std::uint64_t{0}
+            : static_cast<std::uint64_t>(scaled);
+    counts_[index_of(u)] += 1;
+    sum_ += v;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return static_cast<std::size_t>(count_);
+  }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Percentile (q in [0,1]) as the midpoint of the bucket holding the
+  /// rank, clamped to the observed [min, max] so sparse distributions
+  /// never report a value outside what was recorded.
+  [[nodiscard]] double percentile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cum += counts_[i];
+      if (cum >= target) {
+        const double v = value_of(i);
+        return v < min_ ? min_ : (v > max_ ? max_ : v);
+      }
+    }
+    return max_;
+  }
+
+  /// Raw bucket table (tests; renderers wanting full shape).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < kBucketCount ? counts_[i] : 0;
+  }
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(64 - kSubBucketBits + 1) << kSubBucketBits;
 
  private:
-  sim::Accumulator acc_;
+  static constexpr std::size_t kSubBucketCount = 1u << kSubBucketBits;
+
+  V_HOT_PATH
+  static std::size_t index_of(std::uint64_t u) noexcept {
+    if (u < kSubBucketCount) return static_cast<std::size_t>(u);
+    const int msb = 63 - std::countl_zero(u);
+    const int block = msb - kSubBucketBits + 1;
+    const auto sub = static_cast<std::size_t>(
+        (u >> (msb - kSubBucketBits)) & (kSubBucketCount - 1));
+    return (static_cast<std::size_t>(block) << kSubBucketBits) + sub;
+  }
+
+  /// Midpoint of bucket i, back in input units.
+  [[nodiscard]] static double value_of(std::size_t i) noexcept {
+    const std::size_t block = i >> kSubBucketBits;
+    const std::size_t sub = i & (kSubBucketCount - 1);
+    if (block == 0) return (static_cast<double>(sub) + 0.5) / kQuantum;
+    const int msb = static_cast<int>(block) + kSubBucketBits - 1;
+    const double lo =
+        static_cast<double>(std::uint64_t{1} << msb) +
+        static_cast<double>(sub) *
+            static_cast<double>(std::uint64_t{1} << (msb - kSubBucketBits));
+    const double width =
+        static_cast<double>(std::uint64_t{1} << (msb - kSubBucketBits));
+    return (lo + width * 0.5) / kQuantum;
+  }
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample distribution (count/mean/percentiles via obs::LogHistogram —
+/// see its comment for why the registry no longer stores raw samples).
+class Histogram {
+ public:
+  void add(double v) { hist_.record(v); }
+  [[nodiscard]] const LogHistogram& data() const noexcept { return hist_; }
+
+ private:
+  LogHistogram hist_;
+};
+
+/// Per-opcode latency SLO counters: each opcode with a configured budget
+/// counts replies that landed within it vs over it.  observe() sits on
+/// the kernel's reply-completion path, so it is a linear scan over a
+/// handful of entries and nothing else; opcodes without a budget cost one
+/// failed scan.  Exported through `[metrics] slo/` as
+/// "<opcode>.within" / "<opcode>.over" callback mirrors.
+class SloTracker {
+ public:
+  struct Slo {
+    sim::SimDuration budget = 0;  ///< simulated ns
+    std::uint64_t within = 0;
+    std::uint64_t over = 0;
+    std::uint16_t code = 0;
+  };
+
+  /// Set (or reset) the budget for one opcode.  Counters persist across a
+  /// budget change.
+  void set_budget(std::uint16_t code, sim::SimDuration budget) {
+    for (Slo& s : slos_) {
+      if (s.code == code) {
+        s.budget = budget;
+        return;
+      }
+    }
+    slos_.push_back({budget, 0, 0, code});
+  }
+
+  /// Entry for one opcode; nullptr when it has no budget.  Look up by
+  /// code, not by held reference — set_budget may reallocate.
+  [[nodiscard]] const Slo* find(std::uint16_t code) const noexcept {
+    for (const Slo& s : slos_) {
+      if (s.code == code) return &s;
+    }
+    return nullptr;
+  }
+
+  V_HOT_PATH
+  void observe(std::uint16_t code, sim::SimDuration took) noexcept {
+    for (Slo& s : slos_) {
+      if (s.code == code) {
+        if (took <= s.budget) {
+          ++s.within;
+        } else {
+          ++s.over;
+        }
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<Slo>& entries() const noexcept {
+    return slos_;
+  }
+
+ private:
+  std::vector<Slo> slos_;
 };
 
 class MetricsRegistry {

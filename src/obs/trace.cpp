@@ -12,8 +12,18 @@ namespace v::obs {
 
 namespace {
 
+std::string format_ms(sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", sim::to_ms(t));
+  return buf;
+}
+
+}  // namespace
+
+namespace chrome {
+
 /// Escape a string for embedding in a JSON string literal.
-std::string json_escape(std::string_view in) {
+std::string escape(std::string_view in) {
   std::string out;
   out.reserve(in.size());
   for (char c : in) {
@@ -35,13 +45,55 @@ std::string json_escape(std::string_view in) {
   return out;
 }
 
-std::string format_ms(sim::SimTime t) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.3f", sim::to_ms(t));
-  return buf;
+void begin_doc(std::string& out, std::string_view process_name) {
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out += "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"";
+  out += escape(process_name);
+  out += "\"}}";
 }
 
-}  // namespace
+void thread_meta(std::string& out, std::uint32_t tid, std::string_view name) {
+  char head[96];
+  std::snprintf(head, sizeof head,
+                ",\n  {\"ph\": \"M\", \"name\": \"thread_name\", "
+                "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": \"",
+                tid);
+  out += head;
+  out += escape(name);
+  out += "\"}}";
+}
+
+void begin_complete(std::string& out, double ts_us, double dur_us,
+                    std::uint32_t tid, std::string_view name,
+                    std::string_view category) {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                ",\n  {\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                "\"pid\": 1, \"tid\": %u, ",
+                ts_us, dur_us, tid);
+  out += head;
+  out += "\"name\": \"";
+  out += escape(name);
+  out += "\", \"cat\": \"";
+  out += escape(category);
+  out += "\", \"args\": {";
+}
+
+void arg(std::string& out, std::string_view key, std::string_view value) {
+  if (!out.empty() && out.back() != '{') out += ", ";
+  out += "\"";
+  out += escape(key);
+  out += "\": \"";
+  out += escape(value);
+  out += "\"";
+}
+
+void end_complete(std::string& out) { out += "}}"; }
+
+void end_doc(std::string& out) { out += "\n]}\n"; }
+
+}  // namespace chrome
 
 std::string opcode_label(std::uint16_t code) {
   switch (code) {
@@ -126,6 +178,20 @@ void TraceSink::end_send(std::uint32_t sender_pid, std::uint16_t reply_code,
   annotate(id, "reply_code", buf);
 }
 
+void TraceSink::note_error_reply(std::uint32_t sender_pid,
+                                 std::uint16_t reply_code,
+                                 sim::SimTime started, sim::SimTime now) {
+  if (started < 0) started = now;
+  const std::uint32_t id =
+      begin_span(begin_trace(), 0, "error-reply", "mark", sender_pid,
+                 started);
+  end_span(id, now);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u", reply_code);
+  annotate(id, "reply_code", buf);
+  annotate(id, "unsampled", "1");
+}
+
 void TraceSink::clear() {
   spans_.clear();
   open_sends_.clear();
@@ -195,24 +261,17 @@ std::string TraceSink::render_text(std::uint64_t trace_id) const {
 std::string TraceSink::chrome_json() const {
   // Chrome trace-event format: "X" complete events with simulated-time
   // microsecond timestamps, plus "M" metadata naming the (single) process
-  // and one "thread" per simulated pid.
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  out += "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
-         "\"tid\": 0, \"args\": {\"name\": \"v-domain (simulated time)\"}}";
+  // and one "thread" per simulated pid.  Assembled through the shared
+  // chrome:: emitters so the flight recorder's dumps are the same dialect.
+  std::string out;
+  chrome::begin_doc(out, "v-domain (simulated time)");
   // Sorted for a stable document (unordered_map iteration order varies).
   std::map<std::uint32_t, const std::string*> labels;
   for (const auto& [pid, label] : process_labels_) {
     labels.emplace(pid, &label);
   }
   for (const auto& [pid, label] : labels) {
-    char head[96];
-    std::snprintf(head, sizeof head,
-                  ",\n  {\"ph\": \"M\", \"name\": \"thread_name\", "
-                  "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": \"",
-                  pid);
-    out += head;
-    out += json_escape(*label);
-    out += "\"}}";
+    chrome::thread_meta(out, pid, *label);
   }
   sim::SimTime t_max = 0;
   for (const Span& span : spans_) {
@@ -220,26 +279,19 @@ std::string TraceSink::chrome_json() const {
   }
   for (const Span& span : spans_) {
     const sim::SimTime end = span.end >= 0 ? span.end : t_max;
-    char head[160];
-    std::snprintf(head, sizeof head,
-                  ",\n  {\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
-                  "\"pid\": 1, \"tid\": %u, ",
-                  static_cast<double>(span.start) / 1000.0,
-                  static_cast<double>(end - span.start) / 1000.0, span.pid);
-    out += head;
-    out += "\"name\": \"" + json_escape(span.name) + "\", ";
-    out += "\"cat\": \"" + json_escape(span.category) + "\", ";
-    out += "\"args\": {";
-    out += "\"trace\": \"" + std::to_string(span.trace_id) + "\", ";
-    out += "\"span\": \"" + std::to_string(span.id) + "\", ";
-    out += "\"parent\": \"" + std::to_string(span.parent) + "\"";
+    chrome::begin_complete(out, static_cast<double>(span.start) / 1000.0,
+                           static_cast<double>(end - span.start) / 1000.0,
+                           span.pid, span.name, span.category);
+    chrome::arg(out, "trace", std::to_string(span.trace_id));
+    chrome::arg(out, "span", std::to_string(span.id));
+    chrome::arg(out, "parent", std::to_string(span.parent));
     for (const auto& [key, value] : span.args) {
-      out += ", \"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+      chrome::arg(out, key, value);
     }
-    if (span.end < 0) out += ", \"open\": \"1\"";
-    out += "}}";
+    if (span.end < 0) chrome::arg(out, "open", "1");
+    chrome::end_complete(out);
   }
-  out += "\n]}\n";
+  chrome::end_doc(out);
   return out;
 }
 

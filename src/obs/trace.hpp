@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "sim/time.hpp"
 
 #if V_TRACE_ENABLED
@@ -49,13 +50,43 @@ constexpr bool enabled() noexcept { return V_TRACE_ENABLED != 0; }
 /// codes render as "op-0x####").
 std::string opcode_label(std::uint16_t code);
 
+/// Low-level Chrome trace-event JSON emitters.  Both renderers — the
+/// TraceSink hop trees and the FlightRecorder ring dumps — go through
+/// these, so a flight dump loads in Perfetto exactly like a trace and the
+/// document shape is defined in one place.  arg() must only be called
+/// between begin_complete() and end_complete().
+namespace chrome {
+std::string escape(std::string_view in);
+void begin_doc(std::string& out, std::string_view process_name);
+void thread_meta(std::string& out, std::uint32_t tid, std::string_view name);
+void begin_complete(std::string& out, double ts_us, double dur_us,
+                    std::uint32_t tid, std::string_view name,
+                    std::string_view category);
+void arg(std::string& out, std::string_view key, std::string_view value);
+void end_complete(std::string& out);
+void end_doc(std::string& out);
+}  // namespace chrome
+
 /// Trace state carried inside ipc::Envelope and propagated by Send /
 /// Forward / forward_to_group.  NOT part of the paper's 32-byte wire
 /// format — a simulation extra, documented as such in PROTOCOL.md §10.
+///
+/// The sampled bit is the head-based sampling decision: set once at the
+/// root span by SamplePolicy::decide() (flight.hpp) and then only copied,
+/// so a request is traced end-to-end or not at all.  trace_id stays 0 for
+/// unsampled requests — every downstream hop guard already checks it.
 struct TraceContext {
+  static constexpr std::uint8_t kSampled = 0x01;
+
   std::uint64_t trace_id = 0;    ///< 0 = request is not being traced
   std::uint32_t parent_span = 0; ///< span the next hop hangs under
   sim::SimTime enqueued_at = -1; ///< kernel delivery time (queue-wait start)
+  std::uint8_t flags = 0;        ///< kSampled when the head decision kept it
+
+  [[nodiscard]] bool sampled() const noexcept {
+    return (flags & kSampled) != 0;
+  }
+  void set_sampled() noexcept { flags |= kSampled; }
 };
 
 /// One node of the hop tree.
@@ -99,6 +130,20 @@ class TraceSink {
   void end_send(std::uint32_t sender_pid, std::uint16_t reply_code,
                 sim::SimTime now);
 
+  /// Head-based sampling policy (kernel consults it at the root span).
+  [[nodiscard]] SamplePolicy& sampler() noexcept { return sampler_; }
+  [[nodiscard]] const SamplePolicy& sampler() const noexcept {
+    return sampler_;
+  }
+
+  /// Tail record for an anomaly the head decision skipped: a failed send
+  /// whose envelope was unsampled still leaves a closed "mark" span (its
+  /// hops are gone — head sampling cannot resurrect them — but the error,
+  /// its latency, and its trace-less-ness are on the timeline, and the
+  /// flight recorder has the per-host event stream).
+  void note_error_reply(std::uint32_t sender_pid, std::uint16_t reply_code,
+                        sim::SimTime started, sim::SimTime now);
+
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
   }
@@ -128,6 +173,7 @@ class TraceSink {
   std::vector<Span> spans_;
   std::unordered_map<std::uint32_t, std::uint32_t> open_sends_;
   std::unordered_map<std::uint32_t, std::string> process_labels_;
+  SamplePolicy sampler_;
 };
 
 #else  // !V_TRACE_ENABLED
@@ -143,6 +189,13 @@ class TraceSink {
   void enable() noexcept {}
   void disable() noexcept {}
   [[nodiscard]] bool active() const noexcept { return false; }
+  [[nodiscard]] SamplePolicy& sampler() noexcept { return sampler_; }
+  [[nodiscard]] const SamplePolicy& sampler() const noexcept {
+    return sampler_;
+  }
+
+ private:
+  SamplePolicy sampler_;
 };
 
 #endif  // V_TRACE_ENABLED

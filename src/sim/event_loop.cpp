@@ -238,6 +238,7 @@ bool EventLoop::step_untimed() {
   free_node(key.node);
   now_ = key.at;
   ++executed_;
+  if (fire_hook_ != nullptr) fire_hook_(fire_ctx_, now_);
   // Ambient context: the simulation is single-threaded, but loops nest
   // (domains inside domains in tests), so save and restore.
   AmbientContext& amb = ambient();

@@ -132,6 +132,20 @@ class EventLoop {
   }
 #endif
 
+  /// Per-event dispatch hook (the V-blackbox flight recorder's "timer
+  /// fires" channel): called once per executed event with the event's
+  /// firing time, after now() advances and before the action runs.  A raw
+  /// function pointer on purpose — this sits on the hottest loop in the
+  /// repo and must cost one predictable branch when unset (std::function
+  /// would add an indirect call through a type-erased thunk plus a
+  /// possible allocation at install time).  The hook observes host-side
+  /// only: it must not schedule events or touch simulated state.
+  using FireHook = void (*)(void* ctx, SimTime at) noexcept;
+  void set_fire_hook(FireHook hook, void* ctx) noexcept {
+    fire_hook_ = hook;
+    fire_ctx_ = ctx;
+  }
+
   /// Enter schedule-fuzz mode: break same-timestamp ties by a hash of
   /// (seed, seq) instead of scheduling order.  Fully deterministic for a
   /// given seed.  Call before scheduling anything; events already queued
@@ -210,6 +224,8 @@ class EventLoop {
   /// the earliest pending tick.
   void advance();
 
+  FireHook fire_hook_ = nullptr;
+  void* fire_ctx_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

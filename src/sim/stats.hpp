@@ -13,6 +13,14 @@ namespace v::sim {
 /// Collects scalar samples (typically simulated milliseconds) and reports
 /// summary statistics.  Stores all samples; simulation scale keeps this
 /// cheap and allows exact percentiles.
+///
+/// Deprecation note (PR 8): Accumulator remains the right tool where the
+/// sample count is small and exactness matters — bench reproduction rows,
+/// test assertions — but it is no longer the metrics-registry substrate.
+/// Unbounded storage plus a sort per percentile read does not survive the
+/// ROADMAP's production-day workloads; registry histograms are
+/// obs::LogHistogram (fixed footprint, O(1) record, ≤6.25% relative
+/// error).  New aggregation code should start there.
 class Accumulator {
  public:
   void add(double sample) { samples_.push_back(sample); }
@@ -45,15 +53,20 @@ class Accumulator {
     return std::sqrt(acc / static_cast<double>(samples_.size()));
   }
 
-  /// Exact percentile by nearest-rank (q in [0,1]).
+  /// Linearly interpolated percentile (q in [0,1]).  The pre-PR 8
+  /// nearest-rank rounding was wrong at small sample counts — the p50 of
+  /// two samples was their MAX, not their midpoint, so every two-repeat
+  /// bench row overstated its median.
   [[nodiscard]] double percentile(double q) const {
     V_CHECK(!samples_.empty());
     V_CHECK(q >= 0.0 && q <= 1.0);
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
-    const auto rank = static_cast<std::size_t>(
-        q * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (frac == 0.0 || lo + 1 == sorted.size()) return sorted[lo];
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
   }
 
   [[nodiscard]] const std::vector<double>& samples() const noexcept {

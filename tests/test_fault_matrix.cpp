@@ -216,6 +216,50 @@ TEST(FaultMatrix, ChaosSweepNeverLiesAndRecoversBounded) {
   }
 }
 
+#if V_TRACE_ENABLED
+
+/// One engineered failing cell: the wire from the workstation to beta is
+/// dead, so the beta open defeats its retry budget and the kernel's
+/// kNoReply path fires an automatic flight-recorder dump.  Runs under
+/// schedule fuzz with `seed` and returns the rendered dump document.
+std::string run_failing_cell_and_dump(std::uint64_t seed) {
+  VFixture fx(ipc::CalibrationParams::SunWorkstation3Mbit(),
+              servers::DiskModel::kMemory, naming::TeamConfig{}, seed);
+  fault::FaultPlan plan(seed);
+  fault::LinkFaults dead_wire;
+  dead_wire.drop = 1.0;
+  plan.set_link(fx.ws1.id(), fx.fs2.id(), dead_wire);
+  fault::RetryPolicy quick;
+  quick.initial_timeout = 4 * kMillisecond;
+  quick.backoff = 2.0;
+  quick.max_timeout = 16 * kMillisecond;
+  quick.budget = 2;
+  plan.set_retry(quick);
+  fx.dom.install_faults(plan);
+
+  fx.run_client([&](ipc::Process self, svc::Rt rt) -> Co<void> {
+    (void)self;
+    auto opened = co_await rt.open("[beta]pub/readme", kOpenRead);
+    EXPECT_FALSE(opened.ok()) << "beta is unreachable by construction";
+  });
+  EXPECT_GT(fx.dom.flight().triggers(), 0u)
+      << "retry-budget defeat did not trigger a dump";
+  return fx.dom.flight().chrome_json();
+}
+
+TEST(FaultMatrix, FailingCellDumpIsByteIdentical) {
+  // The dump is a REPRODUCTION ARTIFACT, not a log: flight records carry
+  // simulated time and deterministic sequence numbers only, so the same
+  // failing fuzz seed must render the same bytes, run after run.
+  constexpr std::uint64_t kFailingSeed = 0xFA07D00DULL;
+  const std::string first = run_failing_cell_and_dump(kFailingSeed);
+  const std::string second = run_failing_cell_and_dump(kFailingSeed);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "flight dump differs across identical runs";
+}
+
+#endif  // V_TRACE_ENABLED
+
 #else  // !V_FAULT_ENABLED
 
 TEST(FaultMatrix, SkippedWithoutFaultSubsystem) {

@@ -8,14 +8,20 @@
 // nothing); the VLOG prefix test is always on — the logger is not gated.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "chk/ledger.hpp"
 #include "common/log.hpp"
+#include "msg/request_codes.hpp"
 #include "naming/protocol.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "servers/file_server.hpp"
@@ -266,6 +272,313 @@ TEST(Profile, TopFibersCountDispatches) {
     EXPECT_GE(top[i - 1].wall_ns, top[i].wall_ns);
   }
   (void)saw_client;  // ranking is wall-time dependent; presence not asserted
+}
+
+// --- head-based sampling (PR 8) -------------------------------------------
+
+TEST(Sampling, RateZeroSuppressesWholeChain) {
+  ChainFixture fx(3);
+  fx.dom.tracer().enable();
+  fx.dom.tracer().sampler().set_rate(0.0);
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/next/next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+  // The head decision said no, so NOTHING downstream records: no root
+  // span, no hop/queue/service spans on any of the four servers.
+  EXPECT_TRUE(fx.dom.tracer().spans().empty());
+  EXPECT_EQ(fx.dom.tracer().trace_count(), 0u);
+  EXPECT_EQ(fx.dom.tracer().sampler().sampled(), 0u);
+  EXPECT_GT(fx.dom.tracer().sampler().skipped(), 0u);
+}
+
+TEST(Sampling, OpcodeOverridePropagatesSampledBitAcrossForwards) {
+  constexpr int kLinks = 3;
+  ChainFixture fx(kLinks);
+  fx.dom.tracer().enable();
+  auto& sampler = fx.dom.tracer().sampler();
+  sampler.set_rate(0.0);  // drop everything ...
+  sampler.set_opcode_rate(msg::kCreateInstance, 1.0);  // ... except opens
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/next/next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+
+  // The Open was sampled at its root, and the decision travelled in the
+  // envelope: every forwarded hop of that one transaction is present.
+  const auto& spans = fx.dom.tracer().spans();
+  const obs::Span* root = nullptr;
+  for (const auto& s : spans) {
+    if (s.category == "send") {
+      EXPECT_EQ(s.name, "send open") << "only opens may be sampled";
+      root = &s;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  int hops = 0;
+  for (const auto& s : spans) {
+    // One trace end-to-end: no span belongs to an unsampled transaction.
+    EXPECT_EQ(s.trace_id, root->trace_id);
+    if (s.category == "hop") ++hops;
+  }
+  EXPECT_EQ(hops, kLinks + 1);
+  // The close (kReleaseInstance) and everything else was skipped.
+  EXPECT_GT(sampler.skipped(), 0u);
+}
+
+TEST(Sampling, DecisionSequenceIsDeterministic) {
+  obs::SamplePolicy a;
+  obs::SamplePolicy b;
+  a.set_rate(0.25);
+  b.set_rate(0.25);
+  int kept = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool keep = a.decide(msg::kCreateInstance);
+    EXPECT_EQ(keep, b.decide(msg::kCreateInstance)) << "draw " << i;
+    kept += keep ? 1 : 0;
+  }
+  // The private splitmix64 counter is the only entropy source: identical
+  // configuration means identical decisions, and the keep fraction tracks
+  // the configured rate.
+  EXPECT_EQ(a.sampled() + a.skipped(), 2000u);
+  EXPECT_NEAR(kept, 500, 120);
+
+  // Rates 0 and 1 are exact, not probabilistic.
+  obs::SamplePolicy c;
+  c.set_opcode_rate(7, 0.0);
+  EXPECT_TRUE(c.decide(9));
+  EXPECT_FALSE(c.decide(7));
+}
+
+// --- flight recorder (PR 8) -----------------------------------------------
+
+TEST(Flight, RingWrapKeepsLastEventsAndCountsLosses) {
+  obs::FlightRecorder rec;
+  rec.set_capacity(5);  // rounds up to the next power of two
+  EXPECT_EQ(rec.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    rec.record(0, obs::FlightKind::kTimer,
+               static_cast<sim::SimTime>(i) * 10, 0, 0, 0,
+               static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(rec.records(), 20u);
+  EXPECT_EQ(rec.overwritten(), 12u);
+  const std::string json = rec.chrome_json();
+  // Only the newest 8 records survive the wrap: args 13..20.
+  EXPECT_NE(json.find("\"arg\": \"20\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\": \"13\""), std::string::npos);
+  EXPECT_EQ(json.find("\"arg\": \"12\""), std::string::npos);
+}
+
+TEST(Flight, TriggerRecordsWhyAndWritesDump) {
+  obs::FlightRecorder rec;
+  rec.attach_host(1, "ws1");
+  rec.record(1, obs::FlightKind::kSend, 1000, 42, 43, msg::kCreateInstance,
+             7, /*flags=*/1);
+  const std::string path = ::testing::TempDir() + "flight_trigger_test.json";
+  rec.set_dump_path(path);
+  EXPECT_TRUE(rec.trigger(obs::kDumpWatchdog, 2000));
+  EXPECT_EQ(rec.triggers(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  // The dump names its own trigger, carries the host track, the recorded
+  // send (with opcode label and the sampled flag), and matches the
+  // in-memory rendering byte for byte.
+  EXPECT_NE(doc.find("dump watchdog"), std::string::npos);
+  EXPECT_NE(doc.find("\"ws1\""), std::string::npos);
+  EXPECT_NE(doc.find("send open"), std::string::npos);
+  EXPECT_NE(doc.find("\"sampled\": \"1\""), std::string::npos);
+  EXPECT_EQ(doc, rec.chrome_json());
+  std::remove(path.c_str());
+}
+
+TEST(Flight, UnattachedHostFallsBackToDomainRing) {
+  obs::FlightRecorder rec;
+  rec.record(9, obs::FlightKind::kTimer, 5, 0, 0, 0, 77);
+  EXPECT_EQ(rec.rings(), 1u);  // host 9 was never attached
+  EXPECT_EQ(rec.records(), 1u);
+  EXPECT_NE(rec.chrome_json().find("\"arg\": \"77\""), std::string::npos);
+}
+
+// --- log-scale histograms and latency SLOs (PR 8) -------------------------
+
+TEST(Metrics, LogHistogramBoundedRelativeError) {
+  obs::LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 0.1);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 50.05, 1e-6);
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const double exact =
+        0.1 * (std::floor(q * 999.0) + 1.0);  // the rank the read targets
+    EXPECT_NEAR(h.percentile(q), exact, exact * 0.0651)
+        << "q=" << q << " exceeded the 1/16 sub-bucket error bound";
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Metrics, LogHistogramClampsPathologicalInputs) {
+  obs::LogHistogram h;
+  h.record(-3.0);  // negative → zero bucket, not UB
+  h.record(0.0);
+  h.record(1e30);  // far past the quantized 64-bit range → top bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e30);
+  EXPECT_LE(h.percentile(0.5), 1e30);
+}
+
+TEST(Metrics, LatencySloSplitsWithinAndOver) {
+  ChainFixture fx(1);
+  // 1 ns: every open (which crosses a simulated wire) lands OVER.
+  fx.dom.set_latency_slo(msg::kCreateInstance, 1);
+  // 10 simulated seconds: every close lands WITHIN.
+  fx.dom.set_latency_slo(msg::kReleaseInstance, 10 * sim::kSecond);
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    for (int i = 0; i < 3; ++i) {
+      auto opened = co_await rt.open("next/payload.dat", kOpenRead);
+      EXPECT_TRUE(opened.ok());
+      if (opened.ok()) {
+        svc::File f = opened.take();
+        (void)co_await f.close();
+      }
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+
+  const auto* open_slo = fx.dom.slo().find(msg::kCreateInstance);
+  ASSERT_NE(open_slo, nullptr);
+  EXPECT_EQ(open_slo->within, 0u);
+  EXPECT_GE(open_slo->over, 3u);
+  const auto* close_slo = fx.dom.slo().find(msg::kReleaseInstance);
+  ASSERT_NE(close_slo, nullptr);
+  EXPECT_GE(close_slo->within, 3u);
+  EXPECT_EQ(close_slo->over, 0u);
+
+  // Exported through the registry as slo/<opcode>.within|.over mirrors.
+  const auto over = fx.dom.metrics().value_text("slo", "open.over");
+  ASSERT_TRUE(over.has_value());
+  EXPECT_EQ(std::strtoull(over->c_str(), nullptr, 10), open_slo->over);
+  const auto within = fx.dom.metrics().value_text("slo", "close.within");
+  EXPECT_FALSE(within.has_value());  // registry key uses the opcode label
+  const auto release_within =
+      fx.dom.metrics().value_text("slo", "release-instance.within");
+  ASSERT_TRUE(release_within.has_value());
+  EXPECT_EQ(std::strtoull(release_within->c_str(), nullptr, 10),
+            close_slo->within);
+}
+
+// --- event-loop watchdog (PR 8) -------------------------------------------
+
+TEST(Watchdog, TripsOnceOnStuckSendThenDisarms) {
+  ipc::Domain dom;
+  auto& ws1 = dom.add_host("ws1");
+  auto& ws2 = dom.add_host("ws2");
+  const auto hole =
+      ws2.spawn("black-hole", [](ipc::Process self) -> Co<void> {
+        for (;;) (void)co_await self.receive();  // never replies
+      });
+  dom.enable_watchdog(5 * sim::kMillisecond, 2 * sim::kMillisecond);
+  ws1.spawn("stuck", [&, hole](ipc::Process self) -> Co<void> {
+    msg::Message m;
+    m.set_code(0x0200);
+    (void)co_await self.send(m, hole);  // parks forever; the watchdog sees it
+  });
+  dom.run();  // terminates: the watchdog disarms after its one trip
+  EXPECT_EQ(dom.watchdog_trips(), 1u);
+  EXPECT_GT(dom.flight().triggers(), 0u);
+  const std::string dump = dom.flight().chrome_json();
+  EXPECT_NE(dump.find("dump watchdog"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("flight-watchdog"), std::string::npos);
+}
+
+TEST(Watchdog, QuietRunNeverTrips) {
+  ChainFixture fx(1);
+  fx.dom.enable_watchdog(5 * sim::kSecond);  // generous: nothing blocks 5 s
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("next/payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+  EXPECT_EQ(fx.dom.watchdog_trips(), 0u);
+}
+
+// --- [metrics] flight-dump leaf (PR 8) ------------------------------------
+
+TEST(Metrics, FlightDumpServedThroughMetricsContext) {
+  ChainFixture fx(0);
+  servers::MetricsServer metrics_srv;
+  const auto metrics_pid = fx.ws->spawn(
+      "metrics", [&](ipc::Process p) { return metrics_srv.run(p); });
+
+  std::string doc;
+  fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
+    // Traffic first, so the recorder has something to dump.
+    svc::Rt rt(self, {ipc::ProcessId::invalid(),
+                      {fx.pids[0], naming::kDefaultContext}});
+    auto opened = co_await rt.open("payload.dat", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      (void)co_await f.close();
+    }
+    // The on-demand post-mortem, read like any file.
+    rt.set_current({metrics_pid, naming::kDefaultContext});
+    auto dump = co_await rt.open("flight-dump", kOpenRead);
+    EXPECT_TRUE(dump.ok());
+    if (dump.ok()) {
+      svc::File f = dump.take();
+      auto bytes = co_await f.read_all();
+      EXPECT_TRUE(bytes.ok());
+      if (bytes.ok()) {
+        doc.assign(reinterpret_cast<const char*>(bytes.value().data()),
+                   bytes.value().size());
+      }
+      (void)co_await f.close();
+    }
+  });
+  fx.dom.run();
+  ASSERT_EQ(fx.dom.process_failures(), 0u);
+
+  // A Chrome trace-event document with flight categories, including the
+  // on-demand trigger the Open itself fired.
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("flight-send"), std::string::npos);
+  EXPECT_NE(doc.find("dump on-demand"), std::string::npos);
+  EXPECT_GT(fx.dom.flight().triggers(), 0u);
 }
 
 #endif  // V_TRACE_ENABLED

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <optional>
 
@@ -144,6 +145,18 @@ struct VFixture {
         << dom.lint().first_dump();
     EXPECT_EQ(dom.lint().counters().stale_incarnations, 0u)
         << dom.lint().first_dump();
+#if V_TRACE_ENABLED
+    // Chaos-oracle trigger: any failed expectation in the current test
+    // fires a flight-recorder dump, so a failing fuzz seed hands back a
+    // Perfetto-loadable post-mortem instead of just a counter mismatch.
+    // Set V_FLIGHT_DUMP=<path> to get the document as a file.
+    if (::testing::Test::HasFailure()) {
+      if (const char* path = std::getenv("V_FLIGHT_DUMP")) {
+        dom.flight().set_dump_path(path);
+      }
+      dom.flight().trigger(obs::kDumpChaosOracle, dom.now());
+    }
+#endif
   }
 
   ipc::Domain dom;
