@@ -113,7 +113,12 @@ WorkloadResult run_timer_churn_flight() {
 }
 
 WorkloadResult run_ping_pong() {
-  constexpr int kTxns = 50'000;
+  // Sized so one run takes ~100 ms of wall time: on CPU-throttled CI
+  // hosts a workload much shorter than the throttle period can be
+  // swallowed whole by one stall, turning the 25% perf gate into a coin
+  // flip.  (timer-churn never had the problem — 2M events amortize any
+  // stall; the IPC workloads are sized to the same order.)
+  constexpr int kTxns = 200'000;
   ipc::Domain dom;
   auto& ws = dom.add_host("ws1");
   auto& srv = dom.add_host("srv1");
@@ -145,7 +150,7 @@ WorkloadResult run_ping_pong() {
 WorkloadResult run_resolution_storm() {
   constexpr int kServers = 8;  // file-server chain; +1 prefix server = 9
   constexpr int kClients = 16;
-  constexpr int kOpensPerClient = 96;
+  constexpr int kOpensPerClient = 384;  // ~40 ms/run; see run_ping_pong
   ipc::Domain dom;
   auto& ws = dom.add_host("ws1");
   std::vector<std::unique_ptr<servers::FileServer>> chain;
@@ -183,6 +188,73 @@ WorkloadResult run_resolution_storm() {
                  auto opened = co_await rt.open(name, naming::wire::kOpenRead);
                  if (!opened.ok()) {
                    std::fprintf(stderr, "BENCH FAILURE: storm open failed\n");
+                   std::exit(1);
+                 }
+                 svc::File f = opened.take();
+                 (void)co_await f.close();
+               }
+               ++finished;
+             });
+  }
+  dom.run();
+  if (dom.process_failures() != 0 || finished != kClients) {
+    std::fprintf(stderr, "BENCH FAILURE: %s\n", dom.first_failure().c_str());
+    std::exit(1);
+  }
+  return {dom.loop().events_executed(), dom.stats().messages_sent,
+          dom.now()};
+}
+
+/// deep-forward: the fetch-once data path isolated.  Every open traverses
+/// a fixed 3-forward chain (4 file servers) with a 64-255 byte name, so
+/// the name rides NameSpan's pooled path and three downstream hops reuse
+/// the first fetch's attachment.  resolution-storm mixes depths 0-5 and
+/// short names; this workload is nothing but deep forwarding, which is
+/// where fetch-once pays.
+WorkloadResult run_deep_forward() {
+  constexpr int kServers = 4;  // 3 forwards per open
+  constexpr int kClients = 8;
+  constexpr int kOpensPerClient = 640;  // ~30 ms/run; see run_ping_pong
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  std::vector<std::unique_ptr<servers::FileServer>> chain;
+  std::vector<ipc::ProcessId> pids;
+  const std::string hop = "fwd-" + std::string(44, 'x');  // 48-byte component
+  const std::string leaf = "payload-" + std::string(24, 'y') + ".dat";
+  for (int i = 0; i < kServers; ++i) {
+    auto& host = dom.add_host("dfs" + std::to_string(i));
+    chain.push_back(std::make_unique<servers::FileServer>(
+        "dfs" + std::to_string(i), servers::DiskModel::kMemory, false));
+    pids.push_back(host.spawn("dfs" + std::to_string(i),
+                              [srv = chain.back().get()](ipc::Process p) {
+                                return srv->run(p);
+                              }));
+  }
+  chain.back()->put_file(leaf, "four servers deep");
+  for (int i = 0; i + 1 < kServers; ++i) {
+    chain[static_cast<std::size_t>(i)]->put_link(
+        hop, {pids[static_cast<std::size_t>(i) + 1], naming::kDefaultContext});
+  }
+  servers::ContextPrefixServer prefixes("deep", /*register_service=*/false);
+  prefixes.define("root", {.target = {pids[0], naming::kDefaultContext}});
+  const auto prefix_pid = ws.spawn(
+      "prefix-server", [&prefixes](ipc::Process p) { return prefixes.run(p); });
+
+  std::string name = "[root]";
+  for (int h = 0; h + 1 < kServers; ++h) name += hop + "/";
+  name += leaf;
+
+  int finished = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ws.spawn("client" + std::to_string(c),
+             [&](ipc::Process self) -> Co<void> {
+               svc::Rt rt(self,
+                          {prefix_pid, {pids[0], naming::kDefaultContext}});
+               for (int i = 0; i < kOpensPerClient; ++i) {
+                 auto opened = co_await rt.open(name, naming::wire::kOpenRead);
+                 if (!opened.ok()) {
+                   std::fprintf(stderr,
+                                "BENCH FAILURE: deep-forward open failed\n");
                    std::exit(1);
                  }
                  svc::File f = opened.take();
@@ -293,6 +365,7 @@ int main(int argc, char** argv) {
   }
   measure("ping-pong", repeats, run_ping_pong);
   measure("resolution-storm", repeats, run_resolution_storm);
+  measure("deep-forward", repeats, run_deep_forward);
   bench::note("wall-clock throughput is machine-dependent; the ci.sh perf "
               "stage gates events_per_wall_second against BENCH_engine.json "
               "with 25% tolerance");

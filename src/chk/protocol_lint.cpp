@@ -132,7 +132,7 @@ void ProtocolLint::record_dump(std::string dump) {
   if (first_dump_.empty()) first_dump_ = std::move(dump);
 }
 
-std::optional<ReplyCode> ProtocolLint::check_request(
+std::optional<ReplyCode> ProtocolLint::check_request_slow(
     const msg::Message& request, std::uint32_t sender_pid,
     std::size_t read_segment_bytes, std::uint32_t dest_pid,
     std::uint64_t now) {
@@ -207,7 +207,7 @@ std::optional<ReplyCode> ProtocolLint::check_request(
   return std::nullopt;
 }
 
-void ProtocolLint::check_reply(const msg::Message& reply,
+void ProtocolLint::check_reply_slow(const msg::Message& reply,
                                std::uint32_t from_pid, std::uint32_t to_pid,
                                std::uint64_t now) {
   std::string_view label;

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/annotate.hpp"
 #include "common/reply_codes.hpp"
 #include "msg/message.hpp"
 
@@ -101,16 +102,29 @@ class ProtocolLint {
   /// reply code to synthesize to the sender when the message is malformed
   /// (the message is then NOT delivered), or nullopt to deliver normally.
   /// Messages to unregistered destinations are never checked.
-  [[nodiscard]] std::optional<v::ReplyCode> check_request(
+  /// Header-inline fast path: with no servers registered NOTHING is ever
+  /// checked (check_request_slow's first move is a servers_ lookup that
+  /// misses before any counter bumps), so workloads that never register a
+  /// lint server pay one branch per delivery instead of a map probe.
+  [[nodiscard]] V_HOT_PATH std::optional<v::ReplyCode> check_request(
       const msg::Message& request, std::uint32_t sender_pid,
       std::size_t read_segment_bytes, std::uint32_t dest_pid,
-      std::uint64_t now);
+      std::uint64_t now) {
+    if (servers_.empty()) return std::nullopt;
+    return check_request_slow(request, sender_pid, read_segment_bytes,
+                              dest_pid, now);
+  }
 
   /// Validate a reply sent by `from`.  Only replies from registered server
   /// or worker pids are checked; violations are counted and dumped but the
-  /// reply is always delivered.
-  void check_reply(const msg::Message& reply, std::uint32_t from_pid,
-                   std::uint32_t to_pid, std::uint64_t now);
+  /// reply is always delivered.  Same fast path as check_request: the slow
+  /// body early-outs (before counting) unless `from` is a registered server
+  /// or worker, so an empty registry means a branch, not two map probes.
+  V_HOT_PATH void check_reply(const msg::Message& reply, std::uint32_t from_pid,
+                              std::uint32_t to_pid, std::uint64_t now) {
+    if (servers_.empty() && workers_.empty()) return;
+    check_reply_slow(reply, from_pid, to_pid, now);
+  }
 
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
@@ -128,6 +142,13 @@ class ProtocolLint {
     std::string label;
     std::uint32_t server_pid = 0;
   };
+
+  [[nodiscard]] std::optional<v::ReplyCode> check_request_slow(
+      const msg::Message& request, std::uint32_t sender_pid,
+      std::size_t read_segment_bytes, std::uint32_t dest_pid,
+      std::uint64_t now);
+  void check_reply_slow(const msg::Message& reply, std::uint32_t from_pid,
+                        std::uint32_t to_pid, std::uint64_t now);
 
   void record_dump(std::string dump);
   void settle(std::uint32_t server_pid, std::uint32_t client_pid);

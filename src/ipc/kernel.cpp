@@ -24,9 +24,8 @@ detail::ProcessRecord& Process::record() const {
 }
 
 V_HOT_PATH
-std::shared_ptr<sim::FiberState> Process::fiber_state() const {
-  auto& rec = record();
-  return rec.fiber ? rec.fiber->state() : nullptr;
+sim::FiberState* Process::fiber_state() const {
+  return record().fiber_state;
 }
 
 sim::SimTime Process::now() const noexcept { return domain_->now(); }
@@ -50,7 +49,7 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
   ++rec.send_seq;
   ++domain_->stats_.messages_sent;
   if (!dest.local_to(host_id())) ++domain_->stats_.remote_messages;
-  Envelope env{pid_, request, segments, {}, {},
+  Envelope env{pid_, request, segments, {}, {}, {},
                static_cast<std::uint32_t>(rec.send_seq), {}};
 #if V_TRACE_ENABLED
   rec.send_started_at = domain_->now();
@@ -66,8 +65,9 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
       env.trace.trace_id = tr.begin_trace();
       const std::uint32_t root =
           tr.begin_span(env.trace.trace_id, 0,
-                        "send " + obs::opcode_label(request.code()), "send",
-                        pid_.raw, domain_->now());
+                        std::string("send ")
+                            .append(obs::opcode_label(request.code())),
+                        "send", pid_.raw, domain_->now());
       tr.set_process_label(pid_.raw, rec.name);
       tr.note_send(pid_.raw, root);
       env.trace.parent_span = root;
@@ -91,7 +91,7 @@ sim::Co<msg::Message> Process::send(msg::Message request, ProcessId dest,
   }
 #endif
   domain_->deliver(host_id(), std::move(env), dest);
-  co_await sim::ParkAwaiter(rec.reply_waker, fiber_state());
+  co_await sim::ParkAwaiter(rec.reply_waker, rec.fiber_state);
   co_return rec.reply;
 }
 
@@ -105,7 +105,7 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
   rec.exposed = segments;
   const auto seq = ++rec.send_seq;
 
-  Envelope proto{pid_, request, segments, {}, {},
+  Envelope proto{pid_, request, segments, {}, {}, {},
                  static_cast<std::uint32_t>(seq), {}};
 #if V_TRACE_ENABLED
   rec.send_started_at = domain_->now();
@@ -119,7 +119,8 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
       proto.trace.trace_id = tr.begin_trace();
       const std::uint32_t root =
           tr.begin_span(proto.trace.trace_id, 0,
-                        "send-group " + obs::opcode_label(request.code()),
+                        std::string("send-group ")
+                            .append(obs::opcode_label(request.code())),
                         "send", pid_.raw, domain_->now());
       tr.set_process_label(pid_.raw, rec.name);
       tr.note_send(pid_.raw, root);
@@ -156,18 +157,22 @@ sim::Co<msg::Message> Process::send_to_group(msg::Message request,
           dom->complete_reply(me, msg::make_reply(ReplyCode::kTimeout));
         }
       });
-  co_await sim::ParkAwaiter(rec.reply_waker, fiber_state());
+  co_await sim::ParkAwaiter(rec.reply_waker, rec.fiber_state);
   co_return rec.reply;
 }
 
 sim::Co<Envelope> Process::receive() {
   auto& rec = record();
-  while (rec.mailbox.empty()) {
+  while (rec.mbox_head == detail::kNilEnv) {
     rec.waiting_receive = true;
-    co_await sim::ParkAwaiter(rec.recv_waker, fiber_state());
+    co_await sim::ParkAwaiter(rec.recv_waker, rec.fiber_state);
   }
-  Envelope env = std::move(rec.mailbox.front());
-  rec.mailbox.pop_front();
+  const std::uint32_t slot = rec.mbox_head;
+  auto& node = domain_->env_node(slot);
+  rec.mbox_head = node.next;
+  if (rec.mbox_head == detail::kNilEnv) rec.mbox_tail = detail::kNilEnv;
+  Envelope env = std::move(node.env);
+  domain_->env_release(slot);
   co_return env;
 }
 
@@ -203,8 +208,10 @@ void Process::forward(const Envelope& env, ProcessId new_dest) {
                           env.request.code(), env.txn_seq,
                           env.trace.sampled() ? 1 : 0);
 #endif
-  Envelope fwd{env.sender, env.request, env.segments, env.trace, env.origin,
-               env.txn_seq, env.addressed};
+  // Copying env.name materializes it: the forwarded envelope carries an
+  // OWNED copy of any fetched name bytes (the fetch-once attachment).
+  Envelope fwd{env.sender, env.request, env.segments, env.name, env.trace,
+               env.origin, env.txn_seq, env.addressed};
 #if V_FAULT_ENABLED
   if (domain_->fault_active()) {
     domain_->note_forward(fwd, new_dest, /*group=*/0);
@@ -225,8 +232,8 @@ void Process::forward_to_group(const Envelope& env, GroupId group) {
 #endif
 #if V_FAULT_ENABLED
   if (domain_->fault_active()) {
-    Envelope noted{env.sender, env.request, env.segments, env.trace,
-                   env.origin, env.txn_seq, env.addressed};
+    Envelope noted{env.sender, env.request, env.segments, env.name,
+                   env.trace, env.origin, env.txn_seq, env.addressed};
     domain_->note_forward(noted, ProcessId::invalid(), group);
   }
 #endif
@@ -235,8 +242,8 @@ void Process::forward_to_group(const Envelope& env, GroupId group) {
   if (it != domain_->groups_.end()) {
     for (ProcessId member : it->second) {
       if (!domain_->process_alive(member)) continue;
-      Envelope fwd{env.sender, env.request, env.segments, env.trace,
-                   env.origin, env.txn_seq, env.addressed};
+      Envelope fwd{env.sender, env.request, env.segments, env.name,
+                   env.trace, env.origin, env.txn_seq, env.addressed};
       domain_->deliver(host_id(), std::move(fwd),
                        member, /*synth_on_dead=*/false);
       ++domain_->stats_.messages_sent;
@@ -275,12 +282,64 @@ sim::Co<Result<std::size_t>> Process::move_from(ProcessId src,
   if (srec == nullptr || !srec->alive || !srec->awaiting_reply) {
     co_return ReplyCode::kNoReply;
   }
-  const auto seg = srec->exposed.read;
-  if (offset + dest.size() > seg.size()) co_return ReplyCode::kBadArgs;
-  if (!dest.empty()) {
-    std::memcpy(dest.data(), seg.data() + offset, dest.size());
+  // The sender's logical read segment is the pair (read, read2) addressed
+  // as one contiguous range; stitch the copy across the seam.
+  const Segments& seg = srec->exposed;
+  if (offset + dest.size() > seg.read_size()) co_return ReplyCode::kBadArgs;
+  std::size_t copied = 0;
+  if (offset < seg.read.size()) {
+    copied = std::min(dest.size(), seg.read.size() - offset);
+    if (copied != 0) {
+      std::memcpy(dest.data(), seg.read.data() + offset, copied);
+    }
+  }
+  if (copied < dest.size()) {
+    const std::size_t off2 = offset + copied - seg.read.size();
+    std::memcpy(dest.data() + copied, seg.read2.data() + off2,
+                dest.size() - copied);
   }
   co_return dest.size();
+}
+
+V_BORROWS_SPAN
+sim::Co<Result<std::string_view>> Process::fetch_name(
+    Envelope& env, std::uint16_t name_len) {
+  // Bit-identity contract: same delay, same schedule position and same
+  // post-delay validation as the move_from every hop used to issue.  Only
+  // the host-side copy (and the moves/bytes_moved counters, which track
+  // real transfers) are elided on attached and borrowed reads.
+  const bool local = env.sender.local_to(host_id());
+  co_await delay(params().move_from_cost(name_len, local));
+  auto* srec = domain_->find(env.sender);  // validate after the transfer time
+  if (srec == nullptr || !srec->alive || !srec->awaiting_reply) {
+    co_return ReplyCode::kNoReply;
+  }
+  if (env.name.size() >= name_len) {
+    // A server earlier in the forward chain already fetched (and a
+    // forwarding copy attached) the bytes: fetch-once pays off here.
+    co_return std::string_view(env.name.data(), name_len);
+  }
+  const Segments& seg = srec->exposed;
+  if (name_len > seg.read_size()) co_return ReplyCode::kBadArgs;
+  if (local && name_len <= seg.read.size()) {
+    // Same-host first fetch: borrow the sender's bytes in place (ledgered;
+    // see name_span.hpp).  Zero bytes cross the simulated wire or the host
+    // heap.
+    env.name.borrow(reinterpret_cast<const char*>(seg.read.data()), name_len,
+                    srec->borrow_head);
+  } else {
+    // Remote (or seam-straddling) first fetch: the one real copy of the
+    // transaction — the only place the transfer counters tick.
+    ++domain_->stats_.moves;
+    domain_->stats_.bytes_moved += name_len;
+    char* bytes = env.name.allocate(name_len);
+    const std::size_t head = std::min<std::size_t>(name_len, seg.read.size());
+    if (head != 0) std::memcpy(bytes, seg.read.data(), head);
+    if (name_len > head) {
+      std::memcpy(bytes + head, seg.read2.data(), name_len - head);
+    }
+  }
+  co_return std::string_view(env.name.data(), name_len);
 }
 
 V_BORROWS_SPAN
@@ -380,6 +439,7 @@ ProcessId Host::spawn(std::string name,
   // Stamp the fiber with its pid so the ambient context (VLOG prefixes,
   // event-loop profiling) can attribute work to the simulated process.
   rec.fiber->state()->pid = rec.pid.raw;
+  rec.fiber_state = rec.fiber->state().get();
   auto* recp = &rec;
   domain_.loop().schedule_after(0, [recp] {
     if (recp->alive && recp->fiber) recp->fiber->start();
@@ -563,7 +623,33 @@ Domain::Domain(CalibrationParams params, std::uint64_t seed)
 #endif
 }
 
-Domain::~Domain() = default;
+Domain::~Domain() {
+  // Teardown order safety: envelopes (slab slots, stashes, coroutine
+  // frames) may still hold name spans borrowed from process records.  A
+  // borrowed span's destructor unlinks itself from the lender's ledger —
+  // a use-after-free if the record died first — so break every borrow now
+  // (reset, not materialize: nothing reads name bytes during teardown, and
+  // the lender's frame may already be gone).  After this loop no span
+  // points into a record and the members can die in any order.
+  for (auto& rec : records_) {
+    while (rec->borrow_head != nullptr) rec->borrow_head->reset();
+  }
+}
+
+void Domain::grow_env_slab() {
+  // vlint: allow(hot-path-alloc): slab growth, amortized over 512 reuses
+  auto chunk = std::make_unique<detail::EnvNode[]>(1u << kEnvChunkBits);
+  const auto base =
+      static_cast<std::uint32_t>(env_chunks_.size()) << kEnvChunkBits;
+  env_chunks_.push_back(std::move(chunk));
+  // Thread the fresh chunk onto the free list, last slot first, so slots
+  // hand out in ascending index order.
+  for (std::uint32_t i = 1u << kEnvChunkBits; i-- > 0;) {
+    detail::EnvNode& node = env_node(base + i);
+    node.next = env_free_;
+    env_free_ = base + i;
+  }
+}
 
 Host& Domain::add_host(std::string name) {
   const auto id = static_cast<HostId>(hosts_.size() + 1);
@@ -644,12 +730,13 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
 #endif
       // The duplicate copy never synthesizes kNoReply: it is extra traffic,
       // not the transaction's packet of record.
-      Envelope copy = env;
-      loop_.schedule_after(
-          hop + verdict.extra_delay + verdict.dup_delay,
-          [this, copy = std::move(copy), dest]() mutable {
-            arrive(std::move(copy), dest, /*synth_on_dead=*/false);
-          });
+      const std::uint32_t dup_slot = env_acquire();
+      env_node(dup_slot).env = env;
+      loop_.schedule_after(hop + verdict.extra_delay + verdict.dup_delay,
+                           [this, dup_slot, dest] {
+                             arrive_slot(dup_slot, dest,
+                                         /*synth_on_dead=*/false);
+                           });
     }
     if (verdict.drop) {  // retransmission masks the loss
 #if V_TRACE_ENABLED
@@ -663,29 +750,39 @@ void Domain::deliver(HostId from_host, Envelope env, ProcessId dest,
     hop += verdict.extra_delay;
   }
 #endif
-  loop_.schedule_after(
-      hop, [this, env = std::move(env), dest, synth_on_dead]() mutable {
-        arrive(std::move(env), dest, synth_on_dead);
-      });
+  // Park the envelope in the slab and schedule a slot-index closure: the
+  // capture is 24 bytes no matter how fat Envelope grows, so the delivery
+  // event always stays inside the event loop's inline action buffer.
+  const std::uint32_t slot = env_acquire();
+  env_node(slot).env = std::move(env);
+  loop_.schedule_after(hop, [this, slot, dest, synth_on_dead] {
+    arrive_slot(slot, dest, synth_on_dead);
+  });
 }
 
 V_HOT_PATH
-void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
+void Domain::arrive_slot(std::uint32_t slot, ProcessId dest,
+                         bool synth_on_dead) {
   auto* rec = find(dest);
+  Envelope& env = env_node(slot).env;
 #if V_FAULT_ENABLED
   // A paused host neither accepts nor loses packets: they queue until
   // resume() and land through this same gate (so all guards re-run then).
+  // The envelope leaves the slab for the stash (cold path) so a crash's
+  // stash_.clear() can never leak a slot.
   if (rec != nullptr && rec->host != nullptr && rec->host->paused_) {
     rec->host->stash_.push_back(
         [this, env = std::move(env), dest, synth_on_dead]() mutable {
           arrive(std::move(env), dest, synth_on_dead);
         });
+    env_release(slot);
     return;
   }
 #endif
   if (rec == nullptr || !rec->alive) {
     // vlint: allow(hot-path-alloc): dead-destination reply, off the hot delivery path
     if (synth_on_dead) synth_reply(env.sender, ReplyCode::kNoReply);
+    env_release(slot);
     return;
   }
 #if V_FAULT_ENABLED
@@ -697,11 +794,15 @@ void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
         sender != nullptr &&
         (!sender->awaiting_reply ||
          static_cast<std::uint32_t>(sender->send_seq) != env.txn_seq)) {
+      env_release(slot);
       return;
     }
     // At-most-once: a duplicate of a transaction this server has already
     // seen is suppressed, re-driven or replayed — never re-executed.
-    if (suppress_duplicate(*rec, env)) return;
+    if (suppress_duplicate(*rec, env)) {
+      env_release(slot);
+      return;
+    }
   }
 #endif
   // Protocol lint (V-check layer 2): validate the header invariants
@@ -709,10 +810,11 @@ void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
   // rejected here with a synthesized error reply, exactly as a
   // conformant server would answer, plus a decoded dump for triage.
   if (const auto reject = lint_.check_request(
-          env.request, env.sender.raw, env.segments.read.size(), dest.raw,
+          env.request, env.sender.raw, env.segments.read_size(), dest.raw,
           static_cast<std::uint64_t>(loop_.now()))) {
     // vlint: allow(hot-path-alloc): malformed-request reject, off the hot delivery path
     synth_reply(env.sender, *reject);
+    env_release(slot);
     return;
   }
   // Track where the blocked sender's request currently lives so crash
@@ -726,11 +828,25 @@ void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
   if (env.trace.trace_id != 0) env.trace.enqueued_at = loop_.now();
 #endif
   env.addressed = dest;
-  rec->mailbox.push_back(std::move(env));
+  // Accepted: link the slot onto the destination's intrusive mailbox FIFO.
+  detail::EnvNode& node = env_node(slot);
+  node.next = detail::kNilEnv;
+  if (rec->mbox_tail == detail::kNilEnv) {
+    rec->mbox_head = slot;
+  } else {
+    env_node(rec->mbox_tail).next = slot;
+  }
+  rec->mbox_tail = slot;
   if (rec->waiting_receive && rec->recv_waker.armed()) {
     rec->waiting_receive = false;
     rec->recv_waker.wake(loop_);
   }
+}
+
+void Domain::arrive(Envelope env, ProcessId dest, bool synth_on_dead) {
+  const std::uint32_t slot = env_acquire();
+  env_node(slot).env = std::move(env);
+  arrive_slot(slot, dest, synth_on_dead);
 }
 
 V_HOT_PATH
@@ -982,7 +1098,9 @@ void Domain::schedule_retransmit(Envelope env, ProcessId dest,
       env.trace.trace_id = tracer_.begin_trace();
       const std::uint32_t root = tracer_.begin_span(
           env.trace.trace_id, 0,
-          "send " + obs::opcode_label(env.request.code()) + " (promoted)",
+          std::string("send ")
+              .append(obs::opcode_label(env.request.code()))
+              .append(" (promoted)"),
           "send", env.sender.raw, loop_.now());
       tracer_.note_send(env.sender.raw, root);
       env.trace.parent_span = root;
@@ -1106,7 +1224,7 @@ void Domain::set_latency_slo(std::uint16_t code, sim::SimDuration budget) {
   const bool fresh = slo_.find(code) == nullptr;
   slo_.set_budget(code, budget);
   if (!fresh) return;  // budget updated; mirrors already registered
-  const std::string label = obs::opcode_label(code);
+  const std::string label(obs::opcode_label(code));
   metrics_.register_callback("slo", label + ".within", [this, code] {
     const auto* s = slo_.find(code);
     return s != nullptr ? static_cast<double>(s->within) : 0.0;
@@ -1181,8 +1299,19 @@ std::vector<Domain::FiberHotspot> Domain::top_fibers(std::size_t k) const {
 #endif
 
 void Domain::kill_process(detail::ProcessRecord& rec) {
+  // Name bytes borrowed from this sender's frame must become owned copies
+  // BEFORE the frame can unwind: any dispatch still holding a borrow keeps
+  // reading correct bytes and the event sequence does not change.
+  while (rec.borrow_head != nullptr) rec.borrow_head->materialize();
   rec.alive = false;
-  rec.mailbox.clear();
+  // Return the queued envelopes' slab slots.
+  for (std::uint32_t slot = rec.mbox_head; slot != detail::kNilEnv;) {
+    const std::uint32_t next = env_node(slot).next;
+    env_release(slot);
+    slot = next;
+  }
+  rec.mbox_head = detail::kNilEnv;
+  rec.mbox_tail = detail::kNilEnv;
   lint_.forget(rec.pid.raw);
   if (rec.fiber) {
     rec.fiber->kill();

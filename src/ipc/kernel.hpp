@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -36,6 +35,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "ipc/calibration.hpp"
+#include "ipc/name_span.hpp"
 #include "ipc/process_id.hpp"
 #include "msg/message.hpp"
 #include "sim/awaitables.hpp"
@@ -57,8 +57,18 @@ class Process;
 /// normally point into the sending coroutine's frame, which the simulator
 /// keeps alive while the sender is blocked.
 struct Segments {
-  std::span<const std::byte> read;  ///< receiver may MoveFrom this
-  std::span<std::byte> write;       ///< receiver may MoveTo this
+  std::span<const std::byte> read;   ///< receiver may MoveFrom this
+  /// Optional second read extent: MoveFrom addresses `read` and `read2` as
+  /// one contiguous range (scatter-gather), so a sender whose logical
+  /// segment is "name bytes + payload bytes" exposes both pieces in place
+  /// instead of staging a concatenation buffer.
+  std::span<const std::byte> read2;
+  std::span<std::byte> write;        ///< receiver may MoveTo this
+
+  /// Total readable bytes across both extents (the bound MoveFrom checks).
+  [[nodiscard]] std::size_t read_size() const noexcept {
+    return read.size() + read2.size();
+  }
 };
 
 /// Where a name interpretation actually ended: the final server, the
@@ -82,6 +92,12 @@ struct Envelope {
   ProcessId sender;      ///< who is blocked awaiting the reply
   msg::Message request;  ///< 32-byte request (mutable before Forward)
   Segments segments;     ///< the sender's exposed memory
+  /// Fetch-once name attachment (name_span.hpp): empty until the first
+  /// server fetches the request's name bytes, then carried by Forward so
+  /// every later hop reads the attached bytes instead of re-copying from
+  /// the sender's segment.  A host-side optimization only — each hop still
+  /// charges the full simulated MoveFrom cost (see Process::fetch_name).
+  NameSpan name;
   /// V-trace state, propagated by Send/Forward (NOT paper wire format —
   /// a simulation extra, PROTOCOL.md §10).  Empty with V_TRACE=OFF.
   obs::TraceContext trace;
@@ -102,6 +118,20 @@ struct Envelope {
 };
 
 namespace detail {
+
+/// Slot sentinel for the Domain's envelope slab and the intrusive mailbox
+/// lists threaded through it.
+inline constexpr std::uint32_t kNilEnv = 0xffffffffu;
+
+/// One slab slot: an envelope plus the intrusive link that threads it into
+/// a free list or a process's mailbox FIFO (mirrors the event loop's
+/// action slab, DESIGN.md §4i).  Delivery events carry the 4-byte slot
+/// index, so a scheduled packet never drags a fat Envelope through a
+/// closure capture.
+struct EnvNode {
+  Envelope env;
+  std::uint32_t next = kNilEnv;
+};
 
 #if V_FAULT_ENABLED
 /// At-most-once bookkeeping for one client's current transaction at one
@@ -144,9 +174,18 @@ struct ProcessRecord {
   Host* host = nullptr;
   bool alive = true;
 
-  std::deque<Envelope> mailbox;
+  /// Mailbox: an intrusive FIFO of envelope-slab slot indices (EnvNode::
+  /// next links them; the envelopes themselves live in the Domain's slab).
+  std::uint32_t mbox_head = kNilEnv;
+  std::uint32_t mbox_tail = kNilEnv;
   sim::Waker recv_waker;
   bool waiting_receive = false;
+
+  /// Intrusive ledger of NameSpans currently borrowing from this process's
+  /// exposed read segment (same-host zero-copy fetches).  Materialized by
+  /// Domain::kill_process before the frame those borrows point into can
+  /// unwind (see name_span.hpp lifetime rules).
+  NameSpan* borrow_head = nullptr;
 
   // Sender-side blocking state.
   sim::Waker reply_waker;
@@ -175,6 +214,11 @@ struct ProcessRecord {
 #endif
 
   std::optional<sim::Fiber> fiber;
+  /// Raw cache of fiber->state().get(), set once at spawn.  The hot
+  /// send/receive path parks against this instead of re-deriving it
+  /// through the optional and the shared_ptr (records — and therefore the
+  /// FiberState — outlive every pending event; see awaitables.hpp).
+  sim::FiberState* fiber_state = nullptr;
   /// Keeps the process body callable (and its captures) alive for the whole
   /// coroutine lifetime: the frame refers to the lambda's captures in place.
   std::function<sim::Co<void>(Process)> body_keepalive;
@@ -255,6 +299,19 @@ class Process {
   [[nodiscard]] sim::Co<Result<std::size_t>> move_to(
       ProcessId dest, std::span<const std::byte> src, std::size_t offset = 0);
 
+  /// Fetch the request's character-string name — the first `name_len`
+  /// bytes of the blocked sender's read segments — fetch-once style: the
+  /// first server to fetch attaches the bytes to `env` (borrowing them
+  /// zero-copy when the sender is on this host), Forward carries the
+  /// attachment, and later hops reuse it instead of re-copying.  EVERY hop
+  /// still charges the full calibrated MoveFrom cost and re-validates the
+  /// sender exactly as move_from does, so simulated behavior is
+  /// bit-identical to per-hop fetching; only host-side copies (and the
+  /// moves/bytes_moved counters, which track real transfers) change.  The
+  /// returned view is valid for the rest of the receiving dispatch.
+  [[nodiscard]] sim::Co<Result<std::string_view>> fetch_name(
+      Envelope& env, std::uint16_t name_len);
+
   /// Park this process on `queue` until another fiber notifies it (FIFO,
   /// kill-safe).  The intra-team blocking primitive: server worker
   /// processes wait on their team's work queue with this.
@@ -283,8 +340,9 @@ class Process {
 
   /// Observer handle for this process's fiber (kill flag).  Custom
   /// awaitables built outside the kernel (server-team gates and wait
-  /// queues) capture it so a resume after kill throws FiberKilled.
-  [[nodiscard]] std::shared_ptr<sim::FiberState> fiber_state() const;
+  /// queues) capture it so a resume after kill throws FiberKilled.  Raw
+  /// pointer: the state outlives every pending event (awaitables.hpp).
+  [[nodiscard]] sim::FiberState* fiber_state() const;
 
  private:
   detail::ProcessRecord& record() const;
@@ -539,6 +597,34 @@ class Domain {
   const detail::ProcessRecord* find(ProcessId pid) const;
   detail::ProcessRecord& create_record(Host& host, std::string name);
 
+  // --- envelope slab (see detail::EnvNode) ---------------------------------
+  V_HOT_PATH
+  detail::EnvNode& env_node(std::uint32_t slot) noexcept {
+    return env_chunks_[slot >> kEnvChunkBits]
+                      [slot & ((1u << kEnvChunkBits) - 1)];
+  }
+  V_HOT_PATH
+  std::uint32_t env_acquire() {
+    if (env_free_ == detail::kNilEnv)
+      grow_env_slab();  // vlint: allow(hot-path-alloc): cold growth branch
+    const std::uint32_t slot = env_free_;
+    detail::EnvNode& node = env_node(slot);
+    env_free_ = node.next;
+    node.next = detail::kNilEnv;
+    return slot;
+  }
+  V_HOT_PATH
+  void env_release(std::uint32_t slot) noexcept {
+    detail::EnvNode& node = env_node(slot);
+    // Drop the name now (frees a borrow's ledger slot / recycles a pooled
+    // block); the rest of the envelope is overwritten on reuse.
+    node.env.name.reset();
+    node.next = env_free_;
+    env_free_ = slot;
+  }
+  /// Cold: add one chunk of slab capacity to the free list.
+  void grow_env_slab();
+
   /// Schedule delivery of `env` to `dest` after the appropriate hop delay
   /// from `from_host`.  Handles dead destinations with synthesized replies.
   void deliver(HostId from_host, Envelope env, ProcessId dest);
@@ -562,7 +648,12 @@ class Domain {
 
   /// A request packet landing at its destination host (after the hop delay
   /// and any fault verdicts).  Runs lint, duplicate suppression and the
-  /// retransmission-staleness guard, then enqueues into the mailbox.
+  /// retransmission-staleness guard, then enqueues into the mailbox.  The
+  /// envelope is slab slot `slot`; accepted packets are linked into the
+  /// destination's mailbox in place, rejected ones release the slot.
+  void arrive_slot(std::uint32_t slot, ProcessId dest, bool synth_on_dead);
+  /// Re-entry shim for packets that left the slab (pause-stash flushes):
+  /// re-acquires a slot and lands through arrive_slot.
   void arrive(Envelope env, ProcessId dest, bool synth_on_dead);
   /// Put one reply packet on the wire toward `to`, applying fault verdicts.
   /// `answered_seq` is the transaction the reply answers (0 = untracked).
@@ -617,6 +708,12 @@ class Domain {
   // in an insertion-ordered vector, so fan-out is deterministic no matter
   // how the group ids hash.
   FlatMap<GroupId, std::vector<ProcessId>> groups_;
+  // Envelope slab (mirrors the event loop's action slab): chunked stable
+  // storage recycled through a free list, so in-flight and queued
+  // envelopes never churn the allocator and delivery closures stay tiny.
+  static constexpr std::uint32_t kEnvChunkBits = 9;  // 512 envelopes/chunk
+  std::vector<std::unique_ptr<detail::EnvNode[]>> env_chunks_;
+  std::uint32_t env_free_ = detail::kNilEnv;
   DomainStats stats_;
   std::uint32_t name_generation_ = 0;
   std::size_t failures_ = 0;

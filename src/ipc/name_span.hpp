@@ -1,0 +1,266 @@
+// Fetch-once name bytes riding an Envelope (DESIGN.md §4l).
+//
+// The paper's interpretation chain re-reads the SAME character-string name
+// at every server the request visits: each hop issues a MoveFrom against
+// the blocked client's read segment.  The simulated wire cost of that is
+// the protocol (and stays charged per hop, bit-identically) — but the
+// HOST-side work (an allocation plus a memcpy per hop) is pure simulator
+// overhead.  NameSpan is where the first fetch parks the bytes: it lives
+// inside ipc::Envelope, Forward copies it along, and every later hop reads
+// the attached bytes instead of re-staging its own buffer.
+//
+// Storage modes:
+//   kEmptyMode     no bytes attached (every envelope starts here)
+//   kInlineMode    owned, ≤ kInlineCapacity bytes in the object (SBO)
+//   kPooledMode    owned, heap block recycled through a process-wide free
+//                  list (plain exact-size new[]/delete[] under ASan, so
+//                  use-after-free of name bytes stays detectable — same
+//                  policy as sim::FramePool)
+//   kBorrowedMode  NOT owned: a view straight into the blocked sender's
+//                  exposed read segment (the same-host zero-copy case)
+//
+// Lifetime rules (the part that makes borrowing safe):
+//   * A borrowed span registers itself on an intrusive ledger anchored at
+//     the lending sender's ProcessRecord.  Moving the span relinks it;
+//     destroying it unlinks it.
+//   * COPYING a NameSpan always materializes: the copy owns its bytes and
+//     never appears on any ledger.  Forward/group fan-out/retransmit/
+//     dup-table snapshots all go through the copy constructor, so borrowed
+//     views never escape the first hop's dispatch frame.
+//   * Before a kill destroys the sender's coroutine frame (the memory a
+//     borrow points into), Domain::kill_process materializes every span on
+//     the sender's ledger — dispatch in flight keeps reading correct bytes
+//     and the event sequence does not change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "sim/frame_pool.hpp"
+
+namespace v::ipc {
+
+/// Process-wide free list of fixed-size name blocks (names longer than the
+/// inline capacity; the protocol caps them at naming::kMaxNameLength =
+/// 4096).  Single-threaded by design, deliberately leaks its free list at
+/// process exit — exactly the sim::FramePool policy, and disabled under
+/// ASan by the same switch so poisoned-memory detection keeps working.
+class NamePool {
+ public:
+  static constexpr std::size_t kBlockBytes = 4096;
+
+  static char* acquire(std::size_t bytes) {
+#if V_FRAME_POOL_ENABLED
+    (void)bytes;  // one size class: every long name gets a full block
+    auto& bin = free_list();
+    if (!bin.empty()) {
+      char* block = bin.back();
+      bin.pop_back();
+      return block;
+    }
+    return new char[kBlockBytes];
+#else
+    return new char[bytes];  // exact-size: ASan redzones hug the name
+#endif
+  }
+
+  static void release(char* block) noexcept {
+#if V_FRAME_POOL_ENABLED
+    free_list().push_back(block);
+#else
+    delete[] block;
+#endif
+  }
+
+ private:
+#if V_FRAME_POOL_ENABLED
+  static std::vector<char*>& free_list() {
+    static std::vector<char*> bin;
+    return bin;
+  }
+#endif
+};
+
+class NameSpan {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  NameSpan() noexcept = default;
+  ~NameSpan() { reset(); }
+
+  NameSpan(const NameSpan& other) { copy_from(other); }
+  NameSpan& operator=(const NameSpan& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  NameSpan(NameSpan&& other) noexcept { steal(other); }
+  NameSpan& operator=(NameSpan&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+  [[nodiscard]] bool borrowed() const noexcept {
+    return mode_ == kBorrowedMode;
+  }
+
+  [[nodiscard]] const char* data() const noexcept {
+    switch (mode_) {
+      case kPooledMode: return pooled_;
+      case kBorrowedMode: return borrowed_;
+      default: return inline_;
+    }
+  }
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {data(), len_};
+  }
+
+  /// Drop the bytes: unlink a borrow, recycle a pooled block.  Forced
+  /// inline: every Envelope move and destruction lands here (eight times
+  /// per IPC transaction), and the usual case is a no-op on an empty span
+  /// — two stores, not worth a call.
+  [[gnu::always_inline]] inline void reset() noexcept {
+    if (mode_ == kBorrowedMode) {
+      unlink();
+    } else if (mode_ == kPooledMode) {
+      NamePool::release(pooled_);
+    }
+    mode_ = kEmptyMode;
+    len_ = 0;
+  }
+
+  /// Set up owned storage for `n` bytes and return it for the caller to
+  /// fill (the remote-fetch path memcpys a stitched segment pair into it).
+  char* allocate(std::size_t n) {
+    reset();
+    len_ = static_cast<std::uint16_t>(n);
+    if (n <= kInlineCapacity) {
+      mode_ = kInlineMode;
+      return inline_;
+    }
+    mode_ = kPooledMode;
+    pooled_ = NamePool::acquire(n);
+    return pooled_;
+  }
+
+  /// Borrow `n` bytes at `bytes` without copying, registering on the
+  /// owner's ledger (`head` is ProcessRecord::borrow_head of the process
+  /// whose memory `bytes` points into).
+  void borrow(const char* bytes, std::size_t n, NameSpan*& head) noexcept {
+    reset();
+    mode_ = kBorrowedMode;
+    len_ = static_cast<std::uint16_t>(n);
+    borrowed_ = bytes;
+    next_ = head;
+    if (next_ != nullptr) next_->pprev_ = &next_;
+    pprev_ = &head;
+    head = this;
+  }
+
+  /// Turn a borrowed view into an owned copy and leave the ledger.  The
+  /// lender's memory must still be readable (Domain::kill_process calls
+  /// this BEFORE the lender's frame unwinds).  No-op for owned spans.
+  void materialize() {
+    if (mode_ != kBorrowedMode) return;
+    const char* src = borrowed_;  // the union slot is about to be reused
+    unlink();
+    if (len_ <= kInlineCapacity) {
+      mode_ = kInlineMode;
+      std::memcpy(inline_, src, len_);
+    } else {
+      mode_ = kPooledMode;
+      char* block = NamePool::acquire(len_);
+      std::memcpy(block, src, len_);
+      pooled_ = block;
+    }
+  }
+
+ private:
+  enum Mode : std::uint8_t {
+    kEmptyMode,
+    kInlineMode,
+    kPooledMode,
+    kBorrowedMode,
+  };
+
+  void unlink() noexcept {
+    if (pprev_ != nullptr) {
+      *pprev_ = next_;
+      if (next_ != nullptr) next_->pprev_ = pprev_;
+      pprev_ = nullptr;
+      next_ = nullptr;
+    }
+  }
+
+  /// Copies always own their bytes (never borrow, never touch a ledger):
+  /// this is what turns the first hop's fetch into the forwarded
+  /// attachment every later hop reads.
+  void copy_from(const NameSpan& other) {
+    len_ = other.len_;
+    if (other.mode_ == kEmptyMode) {
+      mode_ = kEmptyMode;
+      return;
+    }
+    if (len_ <= kInlineCapacity) {
+      mode_ = kInlineMode;
+      std::memcpy(inline_, other.data(), len_);
+    } else {
+      mode_ = kPooledMode;
+      char* block = NamePool::acquire(len_);
+      std::memcpy(block, other.data(), len_);
+      pooled_ = block;
+    }
+  }
+
+  /// Moves transfer ownership; a borrowed span hands over its ledger slot.
+  void steal(NameSpan& other) noexcept {
+    mode_ = other.mode_;
+    len_ = other.len_;
+    switch (mode_) {
+      case kEmptyMode:
+        break;
+      case kInlineMode:
+        std::memcpy(inline_, other.inline_, len_);
+        break;
+      case kPooledMode:
+        pooled_ = other.pooled_;
+        break;
+      case kBorrowedMode:
+        borrowed_ = other.borrowed_;
+        next_ = other.next_;
+        pprev_ = other.pprev_;
+        if (pprev_ != nullptr) *pprev_ = this;
+        if (next_ != nullptr) next_->pprev_ = &next_;
+        other.next_ = nullptr;
+        other.pprev_ = nullptr;
+        break;
+    }
+    other.mode_ = kEmptyMode;
+    other.len_ = 0;
+  }
+
+  union {
+    char inline_[kInlineCapacity];
+    char* pooled_;
+    const char* borrowed_;
+  };
+  std::uint16_t len_ = 0;
+  Mode mode_ = kEmptyMode;
+  // Intrusive borrow ledger (linux-hlist shape: a back-pointer to whatever
+  // points at us, so unlink needs no list head).  Only used while borrowed.
+  NameSpan* next_ = nullptr;
+  NameSpan** pprev_ = nullptr;
+};
+
+}  // namespace v::ipc

@@ -88,7 +88,8 @@ class HopTrace {
     hop_ = sink_.begin_span(trace, env.trace.parent_span, "hop " + server,
                             "hop", worker_pid.raw, arrived);
     sink_.set_process_label(server_pid.raw, server);
-    sink_.annotate(hop_, "op", obs::opcode_label(env.request.code()));
+    sink_.annotate(hop_, "op",
+                   std::string(obs::opcode_label(env.request.code())));
     if (msg::is_csname_request(env.request.code())) {
       sink_.annotate(hop_, "context_id",
                      std::to_string(msg::cs::context_id(env.request)));
@@ -134,6 +135,18 @@ class HopTrace {
 sim::Co<void> CsnhServer::run(ipc::Process self) {
   pid_ = self.pid();
   metrics_scope_ = self.domain().process_name(pid_);
+#if V_TRACE_ENABLED
+  // Metric handles are per-incarnation: the scope name (or the domain the
+  // server object runs in) may differ from the previous run, so every
+  // cached registry pointer is dropped and re-resolved on first use.
+  m_requests_ = nullptr;
+  m_forwarded_ = nullptr;
+  m_sheds_ = nullptr;
+  m_stale_context_ = nullptr;
+  m_queue_depth_ = nullptr;
+  m_hops_ = nullptr;
+  req_counters_.clear();
+#endif
   // Re-spawn safety (crash + restart reuses the server object): drop any
   // backlog and gate state the previous incarnation left behind — in the
   // race-detector ledger too (the previous incarnation's holders are
@@ -184,7 +197,9 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
       auto queue = work_queue_.write(self);
       if (queue->size() >= team_.queue_cap) {
         ++sheds_;
-        metric_inc(self, "sheds");
+#if V_TRACE_ENABLED
+        cached_counter(self, m_sheds_, "sheds").inc();
+#endif
 #if V_TRACE_ENABLED
         // The traced request dies here: an instant mark keeps the shed
         // visible in the hop tree (the root span closes with kBusy).
@@ -201,8 +216,10 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
         continue;
       }
       queue->push_back(std::move(env));
-      metric_gauge(self, "queue_depth",
-                   static_cast<std::int64_t>(queue->size()));
+#if V_TRACE_ENABLED
+      cached_gauge(self, m_queue_depth_, "queue_depth")
+          .set(static_cast<std::int64_t>(queue->size()));
+#endif
     }
     work_ready_.notify_one(self.domain().loop());
   }
@@ -332,7 +349,7 @@ CsnhServer::GateLock::~GateLock() {
                              // resume throws and ITS destructor re-releases
     next->note_acquired();   // ledger: holder changes hands, no gap
     domain_.loop().schedule_after(0, [h = next->handle_, f = next->fiber_] {
-      sim::FiberRunScope scope(f.get());
+      sim::FiberRunScope scope(f);
       h.resume();
     });
     return;
@@ -343,9 +360,9 @@ CsnhServer::GateLock::~GateLock() {
 
 sim::Co<void> CsnhServer::dispatch(ipc::Process& self, ipc::Envelope env) {
   const std::uint16_t code = env.request.code();
-  metric_inc(self, "requests");
 #if V_TRACE_ENABLED
-  metric_inc(self, "req." + obs::opcode_label(code));
+  cached_counter(self, m_requests_, "requests").inc();
+  req_counter(self, code).inc();
   std::optional<HopTrace> hop;
   if (auto& tr = self.domain().tracer();
       tr.active() && env.trace.trace_id != 0) {
@@ -432,10 +449,13 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
     reply_csname(self, env, msg::make_reply(ReplyCode::kBadArgs));
     co_return;
   }
-  std::string name(name_len, '\0');
+  std::string_view name;
   if (name_len > 0) {
-    auto fetched = co_await self.move_from(
-        env.sender, std::as_writable_bytes(std::span(name)), 0);
+    // Fetch-once: the first server on the chain pays the host-side copy
+    // (or borrows the sender's segment outright when it is local); every
+    // later hop finds the bytes already attached to the envelope.  The
+    // simulated transfer delay is charged at every hop either way.
+    auto fetched = co_await self.fetch_name(env, name_len);
     if (!fetched.ok()) {
       if (fetched.code() == ReplyCode::kNoReply) {
         // Sender vanished; nobody to answer.  Settle the lint ledger: this
@@ -447,6 +467,7 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
       reply_csname(self, env, msg::make_reply(fetched.code()));
       co_return;
     }
+    name = fetched.value();
   }
   co_await self.compute(parse_cost(self, name));
 
@@ -469,7 +490,9 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
   // client no longer means — the §2.2 silent-wrong-answer, made loud.
   if (msg::cs::has_expected_generation(env.request) &&
       msg::cs::expected_generation(env.request) != generation(ctx)) {
-    metric_inc(self, "stale_context");
+#if V_TRACE_ENABLED
+    cached_counter(self, m_stale_context_, "stale_context").inc();
+#endif
     reply_csname(self, env, msg::make_reply(ReplyCode::kStaleContext));
     co_return;
   }
@@ -525,7 +548,9 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
         env.origin = ipc::BindingHint{pid_.raw, entry_ctx,
                                       generation(entry_ctx), 0};
       }
-      metric_inc(self, "forwarded");
+#if V_TRACE_ENABLED
+      cached_counter(self, m_forwarded_, "forwarded").inc();
+#endif
       if (found.kind == LookupResult::Kind::kGroupContext) {
         // Section 7: the context is implemented by a group of servers; the
         // request is multicast and the first member to answer wins.
@@ -558,8 +583,10 @@ sim::Co<void> CsnhServer::handle_csname(ipc::Process& self,
 
   // Interpretation terminated at this server: record how many Forward hops
   // the request took to get here (0 = answered by the first server).
-  metric_hist(self, "hops",
-              static_cast<double>(msg::cs::forward_count(env.request)));
+#if V_TRACE_ENABLED
+  cached_hist(self, m_hops_, "hops")
+      .add(static_cast<double>(msg::cs::forward_count(env.request)));
+#endif
 
   // 5. Dispatch the operation against (ctx, leaf).  Mutating operations
   //    first acquire the (ctx, leaf) gate so concurrent team workers apply
@@ -1050,7 +1077,7 @@ sim::Co<msg::Message> CsnhServer::handle_custom_csname(ipc::Process&,
                                                        ipc::Envelope&,
                                                        ContextId,
                                                        std::string_view,
-                                                       const std::string&) {
+                                                       std::string_view) {
   co_return msg::make_reply(ReplyCode::kIllegalRequest);
 }
 
@@ -1062,6 +1089,22 @@ sim::Co<msg::Message> CsnhServer::handle_custom(ipc::Process&,
 // ---------------------------------------------------------------------------
 // V-trace metric helpers
 // ---------------------------------------------------------------------------
+
+#if V_TRACE_ENABLED
+obs::Counter& CsnhServer::req_counter(ipc::Process& self,
+                                      std::uint16_t code) {
+  if (auto it = req_counters_.find(code); it != req_counters_.end()) {
+    return *it->second;
+  }
+  // First packet with this code: build the "req.<label>" key once and pin
+  // the registry entry.  Every later packet is one FlatMap probe + inc.
+  std::string key("req.");
+  key.append(obs::opcode_label(code));
+  obs::Counter& counter = self.domain().metrics().counter(metrics_scope_, key);
+  req_counters_[code] = &counter;
+  return counter;
+}
+#endif
 
 void CsnhServer::metric_inc(ipc::Process& self, std::string_view name,
                             std::uint64_t n) {

@@ -36,6 +36,7 @@
 
 #include "chk/ledger.hpp"
 #include "chk/shared_cell.hpp"
+#include "common/flat_map.hpp"
 #include "common/result.hpp"
 #include "io/instance.hpp"
 #include "ipc/kernel.hpp"
@@ -45,6 +46,7 @@
 #include "naming/descriptor.hpp"
 #include "naming/protocol.hpp"
 #include "naming/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/condition.hpp"
 #include "sim/task.hpp"
 
@@ -272,7 +274,7 @@ class CsnhServer {
   /// resolved to (ctx, leaf).  Default: kIllegalRequest reply.
   virtual sim::Co<msg::Message> handle_custom_csname(
       ipc::Process& self, ipc::Envelope& env, ContextId ctx,
-      std::string_view leaf, const std::string& name);
+      std::string_view leaf, std::string_view name);
 
   /// Non-CSname requests this base does not know.  Default: kIllegalRequest.
   virtual sim::Co<msg::Message> handle_custom(ipc::Process& self,
@@ -357,9 +359,9 @@ class CsnhServer {
   /// race-detector ledger, keyed on (&server, ctx, leaf).
   struct GateLock {
     GateLock(CsnhServer& server, ipc::Domain& domain,
-             std::shared_ptr<sim::FiberState> fiber, GateKey key,
+             sim::FiberState* fiber, GateKey key,
              ipc::ProcessId pid) noexcept
-        : server_(server), domain_(domain), fiber_(std::move(fiber)),
+        : server_(server), domain_(domain), fiber_(fiber),
           key_(std::move(key)), pid_(pid) {}
     GateLock(const GateLock&) = delete;
     GateLock& operator=(const GateLock&) = delete;
@@ -378,7 +380,7 @@ class CsnhServer {
 
     CsnhServer& server_;
     ipc::Domain& domain_;
-    std::shared_ptr<sim::FiberState> fiber_;
+    sim::FiberState* fiber_;  ///< raw on purpose — see awaitables.hpp
     GateKey key_;
     ipc::ProcessId pid_;
     std::coroutine_handle<> handle_ = nullptr;
@@ -453,6 +455,50 @@ class CsnhServer {
   std::map<GateKey, Gate> gates_;
   std::string metrics_scope_;  ///< registry scope = process name (set in run)
   ipc::GroupId service_group_ = 0;  ///< joined on (re)start when nonzero
+
+#if V_TRACE_ENABLED
+  // --- pre-resolved metric handles (data-path fast path, DESIGN.md §4l) ------
+  // The per-packet counters used to pay a string concat plus two
+  // string-keyed map probes per request (metrics.cpp entry()).  Registry
+  // references are stable for its lifetime (metrics.hpp), so the hot sites
+  // cache the resolved handle and per-packet updates become one pointer
+  // bump.  Resolution stays LAZY — an entry is created at the same
+  // first-use moment as the string-keyed path it replaces, so registry
+  // contents and creation order are unchanged.  run() clears the cache:
+  // handles are per-incarnation (the scope name or even the domain may
+  // differ from the previous run of this server object).
+  obs::Counter& cached_counter(ipc::Process& self, obs::Counter*& slot,
+                               std::string_view name) {
+    if (slot == nullptr) {
+      slot = &self.domain().metrics().counter(metrics_scope_, name);
+    }
+    return *slot;
+  }
+  obs::Gauge& cached_gauge(ipc::Process& self, obs::Gauge*& slot,
+                           std::string_view name) {
+    if (slot == nullptr) {
+      slot = &self.domain().metrics().gauge(metrics_scope_, name);
+    }
+    return *slot;
+  }
+  obs::Histogram& cached_hist(ipc::Process& self, obs::Histogram*& slot,
+                              std::string_view name) {
+    if (slot == nullptr) {
+      slot = &self.domain().metrics().histogram(metrics_scope_, name);
+    }
+    return *slot;
+  }
+  /// "req.<opcode label>" counter for `code`, resolved once per code.
+  obs::Counter& req_counter(ipc::Process& self, std::uint16_t code);
+
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_forwarded_ = nullptr;
+  obs::Counter* m_sheds_ = nullptr;
+  obs::Counter* m_stale_context_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Histogram* m_hops_ = nullptr;
+  FlatMap<std::uint16_t, obs::Counter*> req_counters_;
+#endif
 };
 
 }  // namespace v::naming

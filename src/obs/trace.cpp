@@ -95,7 +95,7 @@ void end_doc(std::string& out) { out += "\n]}\n"; }
 
 }  // namespace chrome
 
-std::string opcode_label(std::uint16_t code) {
+std::string_view opcode_label(std::uint16_t code) {
   switch (code) {
     case msg::kMapContextName: return "map-context";
     case msg::kQueryName: return "query";
@@ -117,9 +117,18 @@ std::string opcode_label(std::uint16_t code) {
     case msg::kGetTime: return "get-time";
     case msg::kLoadProgram: return "load-program";
     default: {
-      char buf[16];
-      std::snprintf(buf, sizeof buf, "op-0x%04x", code);
-      return buf;
+      // Unknown codes are cold (custom servers, tests): intern the label
+      // once per code so the view stays valid for the process lifetime.
+      // The sim is single-threaded, so a plain function-local map is safe;
+      // std::map nodes never move, so views into values stay stable.
+      static std::map<std::uint16_t, std::string> interned;
+      auto [it, inserted] = interned.try_emplace(code);
+      if (inserted) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "op-0x%04x", code);
+        it->second = buf;
+      }
+      return it->second;
     }
   }
 }
@@ -166,8 +175,8 @@ std::uint32_t TraceSink::open_send(std::uint32_t sender_pid) const {
   return it != open_sends_.end() ? it->second : 0;
 }
 
-void TraceSink::end_send(std::uint32_t sender_pid, std::uint16_t reply_code,
-                         sim::SimTime now) {
+void TraceSink::end_send_slow(std::uint32_t sender_pid,
+                              std::uint16_t reply_code, sim::SimTime now) {
   auto it = open_sends_.find(sender_pid);
   if (it == open_sends_.end()) return;
   const std::uint32_t id = it->second;

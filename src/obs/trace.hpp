@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/annotate.hpp"
 #include "obs/flight.hpp"
 #include "sim/time.hpp"
 
@@ -46,9 +47,11 @@ constexpr bool enabled() noexcept { return V_TRACE_ENABLED != 0; }
 
 #if V_TRACE_ENABLED
 
-/// Human label for a request code (standard protocol codes only; unknown
-/// codes render as "op-0x####").
-std::string opcode_label(std::uint16_t code);
+/// Human label for a request code.  Standard protocol codes return views
+/// over static string literals (no allocation, no copy); unknown codes
+/// render as "op-0x####" interned once per code, so every returned view is
+/// valid for the life of the process.
+std::string_view opcode_label(std::uint16_t code);
 
 /// Low-level Chrome trace-event JSON emitters.  Both renderers — the
 /// TraceSink hop trees and the FlightRecorder ring dumps — go through
@@ -126,9 +129,16 @@ class TraceSink {
   // outstanding Send, so the open root span is keyed by the sender's pid.
   void note_send(std::uint32_t sender_pid, std::uint32_t span_id);
   [[nodiscard]] std::uint32_t open_send(std::uint32_t sender_pid) const;
-  /// Close the sender's root span (no-op when it has none open).
+  /// Close the sender's root span (no-op when it has none open).  The
+  /// empty check is inline: this sits on every reply delivery, and with
+  /// the tracer idle (the default) the map is empty — no hash probe, no
+  /// out-of-line call.
+  V_HOT_PATH
   void end_send(std::uint32_t sender_pid, std::uint16_t reply_code,
-                sim::SimTime now);
+                sim::SimTime now) {
+    if (open_sends_.empty()) return;
+    end_send_slow(sender_pid, reply_code, now);
+  }
 
   /// Head-based sampling policy (kernel consults it at the root span).
   [[nodiscard]] SamplePolicy& sampler() noexcept { return sampler_; }
@@ -167,6 +177,9 @@ class TraceSink {
   [[nodiscard]] Span* find_mut(std::uint32_t id) noexcept {
     return id >= 1 && id <= spans_.size() ? &spans_[id - 1] : nullptr;
   }
+
+  void end_send_slow(std::uint32_t sender_pid, std::uint16_t reply_code,
+                     sim::SimTime now);
 
   bool active_ = false;
   std::uint64_t next_trace_ = 1;

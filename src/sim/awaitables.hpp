@@ -1,8 +1,17 @@
 // Generic awaitables over the event loop.
+//
+// LIFETIME CONTRACT: awaitables and wakers hold the fiber's FiberState by
+// RAW pointer, not shared_ptr.  The pointed-to state must outlive every
+// pending wake/delay event.  The kernel guarantees this structurally:
+// process records (which own the Fiber, which owns the FiberState) are
+// retained until the Domain is destroyed, and the Domain's event loop is
+// destroyed first — pending actions are dropped, never run, after that.
+// The old shared_ptr plumbing cost four atomic refcount pairs per IPC
+// transaction and made every wake closure non-trivially relocatable; the
+// raw pointer makes the park/wake path allocation- and atomics-free.
 #pragma once
 
 #include <coroutine>
-#include <memory>
 #include <utility>
 
 #include "sim/event_loop.hpp"
@@ -20,24 +29,24 @@ namespace v::sim {
 class DelayAwaiter {
  public:
   DelayAwaiter(EventLoop& loop, SimDuration delay,
-               std::shared_ptr<FiberState> fiber) noexcept
-      : loop_(loop), delay_(delay), fiber_(std::move(fiber)) {}
+               FiberState* fiber) noexcept
+      : loop_(loop), delay_(delay), fiber_(fiber) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
     loop_.schedule_after(delay_, [h, f = fiber_] {
-      FiberRunScope scope(f.get());
+      FiberRunScope scope(f);
       h.resume();
     });
   }
   void await_resume() const {
-    if (fiber_ && fiber_->killed) throw FiberKilled{};
+    if (fiber_ != nullptr && fiber_->killed) throw FiberKilled{};
   }
 
  private:
   EventLoop& loop_;
   SimDuration delay_;
-  std::shared_ptr<FiberState> fiber_;
+  FiberState* fiber_;
 };
 
 /// Park the current fiber until an external party resumes it by calling
@@ -52,11 +61,12 @@ class Waker {
   Waker() = default;
 
   /// Resume the parked fiber via an immediate event (at current sim time).
+  V_HOT_PATH
   void wake(EventLoop& loop) {
     V_CHECK(handle_ != nullptr);
     auto h = std::exchange(handle_, nullptr);
     loop.schedule_after(0, [h, f = fiber_] {
-      FiberRunScope scope(f.get());
+      FiberRunScope scope(f);
       h.resume();
     });
   }
@@ -66,7 +76,7 @@ class Waker {
     V_CHECK(handle_ != nullptr);
     auto h = std::exchange(handle_, nullptr);
     loop.schedule_after(delay, [h, f = fiber_] {
-      FiberRunScope scope(f.get());
+      FiberRunScope scope(f);
       h.resume();
     });
   }
@@ -76,7 +86,7 @@ class Waker {
  private:
   friend class ParkAwaiter;
   std::coroutine_handle<> handle_ = nullptr;
-  std::shared_ptr<FiberState> fiber_;  ///< parked fiber, for the run scope
+  FiberState* fiber_ = nullptr;  ///< parked fiber, for the run scope
 };
 
 class ParkAwaiter {
@@ -84,8 +94,8 @@ class ParkAwaiter {
   /// `waker` must outlive the suspension; the kernel stores it in its wait
   /// records.  `fiber` enables kill-by-exception on resume.
   V_HOT_PATH
-  ParkAwaiter(Waker& waker, std::shared_ptr<FiberState> fiber) noexcept
-      : waker_(waker), fiber_(std::move(fiber)) {}
+  ParkAwaiter(Waker& waker, FiberState* fiber) noexcept
+      : waker_(waker), fiber_(fiber) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) noexcept {
@@ -93,12 +103,12 @@ class ParkAwaiter {
     waker_.fiber_ = fiber_;
   }
   void await_resume() const {
-    if (fiber_ && fiber_->killed) throw FiberKilled{};
+    if (fiber_ != nullptr && fiber_->killed) throw FiberKilled{};
   }
 
  private:
   Waker& waker_;
-  std::shared_ptr<FiberState> fiber_;
+  FiberState* fiber_;
 };
 
 }  // namespace v::sim

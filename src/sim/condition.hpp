@@ -29,26 +29,26 @@ class WaitQueue {
  public:
   class Awaiter {
    public:
-    Awaiter(WaitQueue& queue, std::shared_ptr<FiberState> fiber) noexcept
-        : queue_(queue), fiber_(std::move(fiber)) {}
+    Awaiter(WaitQueue& queue, FiberState* fiber) noexcept
+        : queue_(queue), fiber_(fiber) {}
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       queue_.waiters_.push_back(Parked{h, fiber_});
     }
     void await_resume() const {
-      if (fiber_ && fiber_->killed) throw FiberKilled{};
+      if (fiber_ != nullptr && fiber_->killed) throw FiberKilled{};
     }
 
    private:
     WaitQueue& queue_;
-    std::shared_ptr<FiberState> fiber_;
+    FiberState* fiber_;  ///< raw on purpose — see awaitables.hpp lifetime
   };
 
   /// Park the calling fiber at the back of the queue.  The WaitQueue must
   /// outlive the suspension (server objects own both, see CsnhServer).
-  [[nodiscard]] Awaiter wait(std::shared_ptr<FiberState> fiber) {
-    return Awaiter(*this, std::move(fiber));
+  [[nodiscard]] Awaiter wait(FiberState* fiber) {
+    return Awaiter(*this, fiber);
   }
 
   /// Resume the front waiter (FIFO) via an immediate event.  Waiters whose
@@ -59,9 +59,9 @@ class WaitQueue {
     while (!waiters_.empty()) {
       Parked p = std::move(waiters_.front());
       waiters_.pop_front();
-      if (p.fiber && p.fiber->killed) continue;
+      if (p.fiber != nullptr && p.fiber->killed) continue;
       loop.schedule_after(0, [h = p.handle, f = p.fiber] {
-        FiberRunScope scope(f.get());
+        FiberRunScope scope(f);
         h.resume();
       });
       return;
@@ -83,7 +83,7 @@ class WaitQueue {
  private:
   struct Parked {
     std::coroutine_handle<> handle;
-    std::shared_ptr<FiberState> fiber;
+    FiberState* fiber;
   };
   std::deque<Parked> waiters_;
 };

@@ -44,6 +44,9 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 
 EventLoop::EventLoop() {
   log_detail::set_context_provider(&ambient_log_context);
+  for (auto& level : slots_) {
+    for (std::uint32_t& head : level) head = kNilNode;
+  }
 }
 
 V_HOT_PATH
@@ -55,7 +58,7 @@ V_HOT_PATH
 std::uint32_t EventLoop::alloc_node(Action&& action) {
   std::uint32_t idx = free_head_;
   if (idx != kNilNode) {
-    free_head_ = node(idx).next_free;
+    free_head_ = node(idx).next;
   } else {
     idx = slab_used_++;
     if ((idx >> kChunkBits) == chunks_.size()) {
@@ -71,7 +74,7 @@ std::uint32_t EventLoop::alloc_node(Action&& action) {
 
 V_HOT_PATH
 void EventLoop::free_node(std::uint32_t idx) noexcept {
-  node(idx).next_free = free_head_;
+  node(idx).next = free_head_;
   free_head_ = idx;
 }
 
@@ -106,7 +109,14 @@ void EventLoop::wheel_insert(const Key& key) {
   const int level = (63 - std::countl_zero(delta)) / kSlotBits;
   const std::size_t slot =
       (tick >> (level * kSlotBits)) & (kSlotsPerLevel - 1);
-  slots_[level][slot].push_back(key);
+  // Park the ordering key in the action's own slab node and thread it
+  // onto the slot's chain — no container, no allocation.
+  Node& n = node(key.node);
+  n.at = key.at;
+  n.tie = key.tie;
+  n.seq = key.seq;
+  n.next = slots_[level][slot];
+  slots_[level][slot] = key.node;
   occupied_[level] |= std::uint64_t{1} << slot;
 }
 
@@ -196,28 +206,36 @@ void EventLoop::advance() {
     cur_tick_ = base;
     if (level == 0) {
       // A level-0 slot holds exactly one tick; everything in it is due.
-      // push_due only touches due_, so draining in place is safe, and
-      // clear() keeps the capacity for the steady-state drain.
-      auto& bucket = slots_[0][slot];
-      for (const Key& key : bucket) push_due(key);
-      bucket.clear();
+      std::uint32_t idx = slots_[0][slot];
+      slots_[0][slot] = kNilNode;
+      while (idx != kNilNode) {
+        const Node& n = node(idx);
+        const std::uint32_t next = n.next;  // push_due never touches nodes
+        push_due(Key{n.at, n.tie, n.seq, idx});
+        idx = next;
+      }
       return;
     }
     // Higher level: cascade the slot one step down.  Every key differs
     // from the new cursor only below this level's bits, so reinsertion
     // lands at a strictly lower level (or in the due heap when its tick IS
-    // the slot base).  Swap the bucket out: wheel_insert writes to lower
-    // levels only, but don't hold a reference into the array while
-    // mutating it.
-    std::vector<Key> batch;
-    batch.swap(slots_[level][slot]);
-    stats_.wheel_cascades += batch.size();
-    for (const Key& key : batch) {
+    // the slot base).  Detach the chain head first: wheel_insert rethreads
+    // each node's `next` as it files it, so read the link before
+    // reinserting.  Chain order does not matter — the due heap's strict
+    // (at, tie, seq) order fixes firing order (see slots_ in the header).
+    std::uint32_t idx = slots_[level][slot];
+    slots_[level][slot] = kNilNode;
+    while (idx != kNilNode) {
+      const Node& n = node(idx);
+      const std::uint32_t next = n.next;
+      const Key key{n.at, n.tie, n.seq, idx};
+      ++stats_.wheel_cascades;
       if (tick_of(key.at) <= cur_tick_) {
         push_due(key);
       } else {
         wheel_insert(key);
       }
+      idx = next;
     }
     if (!due_.empty()) return;
   }

@@ -180,10 +180,17 @@ class EventLoop {
   };
   /// Slab node: the parked action.  Nodes live in fixed chunks (stable
   /// addresses, no vector-growth relocation) and recycle through a free
-  /// list — after warm-up the loop schedules without allocating.
+  /// list — after warm-up the loop schedules without allocating.  While
+  /// an event waits in a wheel slot, its node ALSO holds the ordering key
+  /// (at/tie/seq) and `next` threads the slot's intrusive chain — wheel
+  /// buckets are node chains, not vectors, so parking an event never
+  /// allocates either.  A free node reuses `next` as the free-list link.
   struct Node {
     Action action;
-    std::uint32_t next_free = kNilNode;
+    SimTime at = 0;
+    std::uint64_t tie = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNilNode;
   };
   static constexpr std::uint32_t kNilNode = 0xffffffffu;
   static constexpr std::size_t kChunkBits = 9;  // 512 nodes ≈ 88 KiB / chunk
@@ -240,7 +247,11 @@ class EventLoop {
   std::vector<Key> due_;     ///< binary heap (Later): the tick being drained
   std::vector<Key> overflow_;  ///< binary heap: > 2^36 ticks ahead
   std::uint64_t occupied_[kLevels] = {};  ///< per-level slot bitmaps
-  std::vector<Key> slots_[kLevels][kSlotsPerLevel];
+  /// Wheel slots: head node index of each slot's intrusive chain (the
+  /// keys live in the slab nodes; see Node).  Chain order is arbitrary —
+  /// the due heap's strict (at, tie, seq) order, with seq unique, fixes
+  /// the firing order regardless of how a slot was threaded.
+  std::uint32_t slots_[kLevels][kSlotsPerLevel];
   std::vector<std::unique_ptr<Node[]>> chunks_;  ///< action slab
   std::uint32_t free_head_ = kNilNode;
   std::uint32_t slab_used_ = 0;  ///< high-water mark of allocated nodes

@@ -83,6 +83,19 @@ inline AmbientContext& ambient() noexcept {
   return ctx;
 }
 
+#if V_TRACE_ENABLED
+/// Opt-in switch for per-resume host-CPU charging (FiberState::wall_ns,
+/// read back through Domain::top_fibers).  Two steady_clock reads per
+/// fiber dispatch cost more than the rest of a warm park/wake cycle put
+/// together, so the clock is only touched when a profiling consumer asked
+/// for it; the dispatch COUNT is maintained unconditionally (one
+/// increment).  Flip before running the workload to be profiled.
+inline bool& fiber_profiling() noexcept {
+  static bool enabled = false;
+  return enabled;
+}
+#endif
+
 /// RAII marker placed around h.resume() at every resume site (fiber start,
 /// Waker wake, DelayAwaiter, WaitQueue, gate handoff): "this fiber runs
 /// from here to end of scope".  Nesting-safe (saves/restores the previous
@@ -95,7 +108,10 @@ class FiberRunScope {
       : fiber_(fiber), prev_(ambient().fiber) {
     ambient().fiber = fiber;
 #if V_TRACE_ENABLED
-    if (fiber_ != nullptr) start_ = std::chrono::steady_clock::now();
+    if (fiber_ != nullptr && fiber_profiling()) {
+      timed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
 #endif
   }
   FiberRunScope(const FiberRunScope&) = delete;
@@ -104,10 +120,12 @@ class FiberRunScope {
 #if V_TRACE_ENABLED
     if (fiber_ != nullptr) {
       ++fiber_->dispatches;
-      fiber_->wall_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - start_)
-              .count());
+      if (timed_) {
+        fiber_->wall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+      }
     }
 #endif
     ambient().fiber = prev_;
@@ -117,6 +135,7 @@ class FiberRunScope {
   FiberState* fiber_;
   const FiberState* prev_;
 #if V_TRACE_ENABLED
+  bool timed_ = false;
   std::chrono::steady_clock::time_point start_;
 #endif
 };

@@ -26,21 +26,11 @@ sim::Co<msg::Message> Rt::send_csname(msg::Message request,
                                       std::span<const std::byte> payload,
                                       std::span<std::byte> write_segment) {
   co_await self_.compute(self_.params().send_build);
-  // Read segment layout: name bytes, then the operation payload.  Most ops
-  // carry no payload, and the caller's name storage outlives the blocking
-  // send — reference it in place instead of staging a copy.
-  std::vector<std::byte> read_buffer;
-  std::span<const std::byte> read_segment =
-      std::as_bytes(std::span(name.data(), name.size()));
-  if (!payload.empty()) {
-    read_buffer.resize(name.size() + payload.size());
-    if (!name.empty()) {
-      std::memcpy(read_buffer.data(), name.data(), name.size());
-    }
-    std::memcpy(read_buffer.data() + name.size(), payload.data(),
-                payload.size());
-    read_segment = read_buffer;
-  }
+  // Read segment layout: name bytes, then the operation payload.  Both
+  // pieces outlive the blocking send in the caller's storage, so expose
+  // them as the kernel's scatter-gather pair (Segments::read/read2)
+  // instead of staging a concatenation buffer — MoveFrom addresses them as
+  // one contiguous range.
   msg::cs::set_name_length(request, static_cast<std::uint16_t>(name.size()));
   msg::cs::set_name_index(request, 0);
 
@@ -61,7 +51,8 @@ sim::Co<msg::Message> Rt::send_csname(msg::Message request,
     msg::cs::set_context_id(request, env_.current.context);
   }
   ipc::Segments segments;
-  segments.read = read_segment;
+  segments.read = std::as_bytes(std::span(name.data(), name.size()));
+  segments.read2 = payload;
   segments.write = write_segment;
   const Message reply = co_await self_.send(request, dest, segments);
   observe_reply_hints();

@@ -1,0 +1,64 @@
+// The allocation-free packet path, made executable (DESIGN.md §4l): with
+// the envelope slab, intrusive mailboxes, inline delivery closures and the
+// coroutine frame pool warmed up, a Send/Receive/Reply transaction touches
+// the heap ZERO times.  chk::alloc_probe counts every global operator
+// new/delete in this binary (the replacement operators link only here —
+// see alloc_probe.hpp), and this test asserts the zero.
+#include <gtest/gtest.h>
+
+#include "chk/alloc_probe.hpp"
+#include "ipc/kernel.hpp"
+#include "msg/message.hpp"
+#include "sim/frame_pool.hpp"
+
+namespace v {
+namespace {
+
+using sim::Co;
+
+TEST(AllocProbe, WarmPingPongTransactionsAllocateNothing) {
+  if (!chk::alloc_probe_active()) {
+    GTEST_SKIP() << "probe inactive (sanitizer build owns the allocator)";
+  }
+#if !V_FRAME_POOL_ENABLED
+  GTEST_SKIP() << "frame pool disabled: coroutine frames hit the heap";
+#else
+  ipc::Domain dom;
+  auto& ws = dom.add_host("ws1");
+  auto& srv = dom.add_host("srv1");
+  const auto echo_pid = srv.spawn("echo", [](ipc::Process self) -> Co<void> {
+    for (;;) {
+      auto env = co_await self.receive();
+      self.reply(msg::make_reply(ReplyCode::kOk), env.sender);
+    }
+  });
+  // Warm-up grows every pool once (event-loop slab chunks, envelope slab,
+  // frame pool, metric registrations); the measured window reuses them.
+  constexpr int kWarmup = 2'000;
+  constexpr int kMeasured = 10'000;
+  std::uint64_t baseline_allocs = 0;
+  bool done = false;
+  ws.spawn("pinger", [&, echo_pid](ipc::Process self) -> Co<void> {
+    msg::Message ping;
+    ping.set_code(0x0200);  // above the protocol ranges' floor; not CSname
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)co_await self.send(ping, echo_pid);
+    }
+    baseline_allocs = chk::alloc_counters().allocations;
+    for (int i = 0; i < kMeasured; ++i) {
+      (void)co_await self.send(ping, echo_pid);
+    }
+    const std::uint64_t delta =
+        chk::alloc_counters().allocations - baseline_allocs;
+    EXPECT_EQ(delta, 0u) << delta << " heap allocations across " << kMeasured
+                         << " warm transactions";
+    done = true;
+  });
+  dom.run();
+  EXPECT_EQ(dom.process_failures(), 0u) << dom.first_failure();
+  EXPECT_TRUE(done) << "pinger parked forever";
+#endif
+}
+
+}  // namespace
+}  // namespace v

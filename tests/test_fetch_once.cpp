@@ -1,0 +1,85 @@
+// Fetch-once name forwarding (DESIGN.md §4l): the first server on an
+// interpretation chain pays the single host-side name transfer; every
+// later hop reads the bytes the Forward carried.  Same-host requests do
+// not even copy — the server borrows the blocked sender's segment.
+//
+// The simulated per-hop MoveFrom DELAY is unchanged either way (that is
+// the paper's protocol cost and stays bit-identical); these tests pin the
+// host-side transfer counters, which are pure simulator work.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "naming/protocol.hpp"
+#include "servers/file_server.hpp"
+#include "svc/runtime.hpp"
+#include "v_fixture.hpp"
+
+namespace v {
+namespace {
+
+using naming::wire::kOpenRead;
+using sim::Co;
+using test::VFixture;
+
+// A 3-server interpretation chain: alpha -> beta (the fixture's link) ->
+// gamma (added here).  The name is longer than NameSpan's 64-byte inline
+// capacity, so the one materialized copy exercises the pooled path.
+TEST(FetchOnce, ThreeHopChainMovesNameOnce) {
+  VFixture fx;
+  auto& fs3 = fx.dom.add_host("fs3");
+  servers::FileServer gamma("gamma", servers::DiskModel::kMemory,
+                            /*register_service=*/false);
+  const std::string leaf = "pkg-" + std::string(72, 'x');
+  gamma.put_file("depot/" + leaf, "three hops deep");
+  const auto gamma_pid =
+      fs3.spawn("gamma-fs", [&gamma](ipc::Process p) { return gamma.run(p); });
+  fx.beta.put_link("pub/hop3", {gamma_pid, gamma.context_of("depot")});
+
+  const std::string name = "usr/mann/proj/hop3/" + leaf;
+  ASSERT_GT(name.size(), 64u);  // pooled, not inline
+
+  const auto before = fx.dom.stats();
+  fx.run_client([&name](ipc::Process, svc::Rt rt) -> Co<void> {
+    auto opened = co_await rt.open(name, kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+  });
+  const auto& after = fx.dom.stats();
+  EXPECT_EQ(after.forwards - before.forwards, 2u);  // alpha->beta->gamma
+  // One transfer total: alpha (remote from the ws1 client) copies the name
+  // bytes once; beta and gamma read the forwarded attachment.
+  EXPECT_EQ(after.moves - before.moves, 1u);
+  EXPECT_EQ(after.bytes_moved - before.bytes_moved, name.size());
+}
+
+// A client on the SERVER's host: the name bytes are borrowed straight out
+// of the sender's exposed read segment — no transfer counted at all.
+TEST(FetchOnce, SameHostOpenBorrowsNameZeroCopy) {
+  VFixture fx;
+  const auto before = fx.dom.stats();
+  bool finished = false;
+  fx.fs1.spawn("local-client", [&fx, &finished](ipc::Process self) -> Co<void> {
+    auto rt = co_await svc::Rt::attach(
+        self, naming::ContextPair{fx.alpha_pid, naming::kDefaultContext});
+    auto opened = co_await rt.open("usr/mann/naming.mss", kOpenRead);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) {
+      svc::File f = opened.take();
+      EXPECT_EQ(co_await f.close(), ReplyCode::kOk);
+    }
+    finished = true;
+  });
+  fx.dom.run();
+  fx.check_clean();
+  ASSERT_TRUE(finished) << "client parked forever";
+  const auto& after = fx.dom.stats();
+  EXPECT_EQ(after.moves - before.moves, 0u);
+  EXPECT_EQ(after.bytes_moved - before.bytes_moved, 0u);
+}
+
+}  // namespace
+}  // namespace v

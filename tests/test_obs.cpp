@@ -232,7 +232,9 @@ TEST(Metrics, LintCountersMirroredIntoRegistry) {
   // (with V_CHECKS=OFF both legitimately read zero — the mirror must still
   // agree).
   const auto& lint = fx.dom.lint().counters();
-  if (chk::enabled()) EXPECT_GT(lint.requests_checked, 0u);
+  if (chk::enabled()) {
+    EXPECT_GT(lint.requests_checked, 0u);
+  }
   const auto mirrored = fx.dom.metrics().value_text("lint",
                                                     "requests_checked");
   ASSERT_TRUE(mirrored.has_value());
@@ -247,6 +249,9 @@ TEST(Metrics, LintCountersMirroredIntoRegistry) {
 
 TEST(Profile, TopFibersCountDispatches) {
   ChainFixture fx(1);
+  // Per-resume host-CPU charging is opt-in (it costs two clock reads per
+  // dispatch); enable it so the wall_ns ranking below is meaningful.
+  sim::fiber_profiling() = true;
   fx.ws->spawn("client", [&](ipc::Process self) -> Co<void> {
     svc::Rt rt(self, {ipc::ProcessId::invalid(),
                       {fx.pids[0], naming::kDefaultContext}});
@@ -272,6 +277,7 @@ TEST(Profile, TopFibersCountDispatches) {
     EXPECT_GE(top[i - 1].wall_ns, top[i].wall_ns);
   }
   (void)saw_client;  // ranking is wall-time dependent; presence not asserted
+  sim::fiber_profiling() = false;
 }
 
 // --- head-based sampling (PR 8) -------------------------------------------

@@ -159,7 +159,7 @@ TEST(Task, KillUnwindsAndRunsDestructors) {
     explicit Guard(bool* f) : flag(f) {}
     ~Guard() { *flag = true; }
   };
-  auto body = [](EventLoop* lp, std::shared_ptr<FiberState> st, bool* a,
+  auto body = [](EventLoop* lp, FiberState* st, bool* a,
                  bool* c) -> Co<void> {
     Guard g(c);
     co_await DelayAwaiter(*lp, kMillisecond, st);
@@ -169,7 +169,7 @@ TEST(Task, KillUnwindsAndRunsDestructors) {
   // wrapper coroutine that awaits the real body.
   std::shared_ptr<FiberState> state;
   auto outer = [&](EventLoop* lp, bool* a, bool* c) -> Co<void> {
-    co_await body(lp, state, a, c);
+    co_await body(lp, state.get(), a, c);
   };
   Fiber fiber(outer(&loop, &after, &cleanup));
   state = fiber.state();
