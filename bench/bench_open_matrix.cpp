@@ -13,6 +13,7 @@
 // and for a deliberately different calibration (structural claim only).
 #include "bench_util.hpp"
 #include "naming/protocol.hpp"
+#include "wload/forest.hpp"
 
 using namespace v;
 using sim::Co;
@@ -25,7 +26,15 @@ struct Matrix {
   double prefix_local = 0, prefix_remote = 0;
 };
 
-Matrix measure(ipc::CalibrationParams params) {
+/// Iterations per timed cell (`--opens`) and synthesized wload-forest
+/// files pre-populating each server (`--files`; sizes the FlatMap the
+/// timed opens search).  Defaults reproduce the paper table byte-for-byte.
+struct Load {
+  int opens = 50;
+  std::size_t files = 0;
+};
+
+Matrix measure(ipc::CalibrationParams params, const Load& load) {
   ipc::Domain dom(params);
   auto& ws1 = dom.add_host("ws1");
   auto& fs1 = dom.add_host("fs1");
@@ -33,6 +42,20 @@ Matrix measure(ipc::CalibrationParams params) {
   servers::FileServer remote_fs("remote");
   local_fs.put_file("f.dat", "local bytes");
   remote_fs.put_file("f.dat", "remote bytes");
+  if (load.files != 0) {
+    // Background population from the wload generator: one prefix, enough
+    // leaves, names stripped of their "[p]" syntax for put_file.
+    const wload::Forest forest({.prefixes = 1,
+                                .dirs_per_prefix = load.files,
+                                .files_per_dir = 1,
+                                .name_min = 0});
+    for (std::size_t f = 0; f < forest.file_count(); ++f) {
+      const std::string& full = forest.name(f);
+      const std::string path = full.substr(full.find(']') + 1);
+      local_fs.put_file(path, wload::Forest::content_for(full));
+      remote_fs.put_file(path, wload::Forest::content_for(full));
+    }
+  }
   servers::ContextPrefixServer prefixes;
   const auto local_pid =
       ws1.spawn("local-fs", [&](ipc::Process p) { return local_fs.run(p); });
@@ -49,7 +72,7 @@ Matrix measure(ipc::CalibrationParams params) {
     // The paper's number is the Open alone; closes happen outside the
     // timed window.
     auto time_open_only = [&](std::string_view name) -> Co<double> {
-      constexpr int kIters = 50;
+      const int kIters = load.opens;
       sim::SimDuration total = 0;
       for (int i = 0; i < kIters; ++i) {
         const auto t0 = self.now();
@@ -76,8 +99,16 @@ int main(int argc, char** argv) {
   const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E4", "Open latency matrix (paper section 6)");
 
+  Load load;
+  const std::string opens_arg = bench::flag_value(argc, argv, "--opens");
+  const std::string files_arg = bench::flag_value(argc, argv, "--files");
+  if (!opens_arg.empty()) load.opens = std::stoi(opens_arg);
+  if (!files_arg.empty()) {
+    load.files = static_cast<std::size_t>(std::stoul(files_arg));
+  }
+
   bench::note("calibration: SunWorkstation3Mbit");
-  const Matrix sun = measure(ipc::CalibrationParams::SunWorkstation3Mbit());
+  const Matrix sun = measure(ipc::CalibrationParams::SunWorkstation3Mbit(), load);
   bench::row("Open, current context, server local", sun.direct_local, 1.21);
   bench::row("Open, current context, server remote", sun.direct_remote, 3.70);
   bench::row("Open via context prefix, server local", sun.prefix_local, 5.14);
@@ -90,7 +121,7 @@ int main(int argc, char** argv) {
   bench::note("");
 
   bench::note("calibration: SlowNetworkFastCpu (structural check only)");
-  const Matrix alt = measure(ipc::CalibrationParams::SlowNetworkFastCpu());
+  const Matrix alt = measure(ipc::CalibrationParams::SlowNetworkFastCpu(), load);
   bench::row("Open, current context, server local", alt.direct_local);
   bench::row("Open, current context, server remote", alt.direct_remote);
   bench::row("Open via context prefix, server local", alt.prefix_local);

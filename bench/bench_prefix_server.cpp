@@ -6,22 +6,47 @@
 // operations, including logical (GetPid-at-use) entries.
 #include "bench_util.hpp"
 #include "naming/protocol.hpp"
+#include "wload/forest.hpp"
 
 using namespace v;
 using sim::Co;
 using sim::to_ms;
 
+namespace {
+
+/// Compatibility-mode forest ("<stem>0", "<stem>1", ...): the wload
+/// generator is the single source of synthesized names, here and in the
+/// production-day bench (E14).
+wload::Forest name_forest(std::size_t count, std::string stem) {
+  return wload::Forest({.prefixes = count,
+                        .dirs_per_prefix = 1,
+                        .files_per_dir = 1,
+                        .name_min = 0,
+                        .prefix_stem = std::move(stem)});
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::headline("E5", "context prefix server: footprint and operation "
                         "costs");
+  // `--entries N` widens the footprint sweep; `--opens N` sets the
+  // per-operation iteration count.  Defaults reproduce the paper table.
+  const std::string entries_arg = bench::flag_value(argc, argv, "--entries");
+  const std::string opens_arg = bench::flag_value(argc, argv, "--opens");
+  const int iters = opens_arg.empty() ? 40 : std::stoi(opens_arg);
 
   // --- footprint ------------------------------------------------------------
   bench::note("prefix table resident bytes (paper data segment: 2.6 KB):");
-  for (const int entries : {4, 8, 16, 32, 64}) {
+  std::vector<int> sweep = {4, 8, 16, 32, 64};
+  if (!entries_arg.empty()) sweep.push_back(std::stoi(entries_arg));
+  for (const int entries : sweep) {
+    const wload::Forest names =
+        name_forest(static_cast<std::size_t>(entries), "prefix");
     servers::ContextPrefixServer table("user");
     for (int i = 0; i < entries; ++i) {
-      table.define("prefix" + std::to_string(i),
+      table.define(names.prefix(static_cast<std::size_t>(i)),
                    {.target = {ipc::ProcessId::make(1, 1),
                                naming::kDefaultContext}});
     }
@@ -49,11 +74,13 @@ int main(int argc, char** argv) {
 
   double open_pinned = 0, open_logical = 0, add_ms = 0, del_ms = 0,
          list_ms = 0;
+  const wload::Forest tmp_names =
+      name_forest(static_cast<std::size_t>(iters), "tmp");
   const bool ok = bench::run_client(dom, ws, [&](ipc::Process self)
                                                   -> Co<void> {
     auto rt = co_await svc::Rt::attach(
         self, {fs_pid, naming::kDefaultContext});
-    constexpr int kIters = 40;
+    const int kIters = iters;
     auto t0 = self.now();
     for (int i = 0; i < kIters; ++i) {
       auto opened =
@@ -74,7 +101,7 @@ int main(int argc, char** argv) {
 
     t0 = self.now();
     for (int i = 0; i < kIters; ++i) {
-      const std::string name = "tmp" + std::to_string(i);
+      const std::string& name = tmp_names.prefix(static_cast<std::size_t>(i));
       const naming::ContextPair target{fs_pid, naming::kDefaultContext};
       (void)co_await rt.add_prefix(name, target);
     }
@@ -88,8 +115,8 @@ int main(int argc, char** argv) {
 
     t0 = self.now();
     for (int i = 0; i < kIters; ++i) {
-      const std::string name = "tmp" + std::to_string(i);
-      (void)co_await rt.delete_prefix(name);
+      (void)co_await rt.delete_prefix(
+          tmp_names.prefix(static_cast<std::size_t>(i)));
     }
     del_ms = to_ms(self.now() - t0) / kIters;
   });

@@ -23,7 +23,7 @@
 #include "bench_util.hpp"
 
 #include "naming/protocol.hpp"
-#include "sim/stats.hpp"
+#include "obs/metrics.hpp"
 #include "svc/file.hpp"
 
 using namespace v;
@@ -66,7 +66,7 @@ TeamResult measure(std::size_t workers, std::uint64_t seed) {
   prefixes.define("d", {.target = {disk_pid, naming::kDefaultContext}});
   ws1.spawn("prefix-server", [&](ipc::Process p) { return prefixes.run(p); });
 
-  sim::Accumulator open_ms;
+  obs::LogHistogram open_ms;
   int done = 0;
 
   // The slow remote transfer, always in flight until the openers finish:
@@ -90,7 +90,7 @@ TeamResult measure(std::size_t workers, std::uint64_t seed) {
       auto timed_open = [&](std::string_view name) -> Co<void> {
         const auto t0 = self.now();
         auto opened = co_await rt.open(name, naming::wire::kOpenRead);
-        open_ms.add(to_ms(self.now() - t0));
+        open_ms.record(to_ms(self.now() - t0));
         if (opened.ok()) {
           svc::File f = opened.take();
           (void)co_await f.close();
@@ -114,7 +114,7 @@ TeamResult measure(std::size_t workers, std::uint64_t seed) {
   result.p50 = open_ms.percentile(0.50);
   result.p99 = open_ms.percentile(0.99);
   result.mean = open_ms.mean();
-  result.samples = open_ms.samples().size();
+  result.samples = open_ms.count();
   result.sheds = disk_fs.shed_count() + prefixes.shed_count();
   return result;
 }

@@ -73,6 +73,29 @@ class JsonReport {
     obs_flight_capacity_ = flight_capacity;
     have_obs_info_ = true;
   }
+  /// Record one E14 scale cell (bench_scale): a whole production day at one
+  /// shard count, reduced to its deterministic simulated numbers.  All
+  /// fields derive from simulated time, so the array is byte-identical per
+  /// seed — the CI scale stage diffs two runs to prove it.
+  struct ScaleCell {
+    std::string cell;
+    std::size_t shards = 0;
+    std::size_t hosts = 0;
+    std::uint64_t opens = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t wrong = 0;
+    double throughput_per_s = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double flash_p99_ms = 0;
+    std::uint64_t map_fetches = 0;
+    std::uint64_t stale_retries = 0;
+    std::uint64_t noreply_retries = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t handbacks = 0;
+  };
+  void add_scale_cell(ScaleCell cell) { scale_.push_back(std::move(cell)); }
+
   /// Record one engine-throughput workload (bench_engine): raw event and
   /// message-transaction counts plus the host wall-clock they took.  The
   /// derived events/txns per wall-second are what the CI perf stage gates;
@@ -150,6 +173,32 @@ class JsonReport {
       }
       std::fprintf(f, "  ],\n");
     }
+    if (!scale_.empty()) {
+      std::fprintf(f, "  \"scale\": [\n");
+      for (std::size_t c = 0; c < scale_.size(); ++c) {
+        const ScaleCell& s = scale_[c];
+        std::fprintf(
+            f,
+            "    {\"cell\": \"%s\", \"shards\": %zu, \"hosts\": %zu, "
+            "\"opens\": %llu, \"errors\": %llu, \"wrong\": %llu, "
+            "\"throughput_per_s\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+            "\"flash_p99_ms\": %.4f, \"map_fetches\": %llu, "
+            "\"stale_retries\": %llu, \"noreply_retries\": %llu, "
+            "\"handoffs\": %llu, \"handbacks\": %llu}%s\n",
+            escape(s.cell).c_str(), s.shards, s.hosts,
+            static_cast<unsigned long long>(s.opens),
+            static_cast<unsigned long long>(s.errors),
+            static_cast<unsigned long long>(s.wrong), s.throughput_per_s,
+            s.p50_ms, s.p99_ms, s.flash_p99_ms,
+            static_cast<unsigned long long>(s.map_fetches),
+            static_cast<unsigned long long>(s.stale_retries),
+            static_cast<unsigned long long>(s.noreply_retries),
+            static_cast<unsigned long long>(s.handoffs),
+            static_cast<unsigned long long>(s.handbacks),
+            c + 1 < scale_.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+    }
     std::fprintf(f, "  \"sections\": [\n");
     for (std::size_t s = 0; s < sections_.size(); ++s) {
       const Section& sec = sections_[s];
@@ -214,6 +263,7 @@ class JsonReport {
 
   std::vector<Section> sections_;
   std::vector<EngineWorkload> engine_;
+  std::vector<ScaleCell> scale_;
   bool have_run_info_ = false;
   std::uint64_t run_seed_ = 0;
   std::string run_calibration_;

@@ -22,6 +22,13 @@ Expected shape:
        "wall_ms": number, "sim_ms": number,
        "events_per_wall_second": number, "txns_per_wall_second": number}
     ],
+    "scale": [                     # optional (bench_scale production day)
+      {"cell": str, "shards": int > 0, "hosts": int > 0,
+       "opens": int, "errors": int, "wrong": int,   # wrong must be 0
+       "throughput_per_s": number, "p50_ms": number, "p99_ms": number,
+       "flash_p99_ms": number, "map_fetches": int, "stale_retries": int,
+       "noreply_retries": int, "handoffs": int, "handbacks": int}
+    ],
     "sections": [
       {"id": str, "title": str,
        "rows": [{"label": str, "measured_ms": number,
@@ -128,6 +135,44 @@ def check(path):
             extra = set(wl) - {"workload", "events", "txns", "wall_ms",
                                "sim_ms", "events_per_wall_second",
                                "txns_per_wall_second"}
+            if extra:
+                return fail(path, f"{where} has unknown keys {sorted(extra)}")
+
+    scale = doc.get("scale")
+    if scale is not None:
+        if not isinstance(scale, list) or not scale:
+            return fail(path, '"scale" must be a non-empty list')
+        for i, cell in enumerate(scale):
+            where = f"scale[{i}]"
+            if not isinstance(cell, dict):
+                return fail(path, f"{where} must be an object")
+            if not isinstance(cell.get("cell"), str):
+                return fail(path, f'{where}.cell must be a string')
+            for key in ("shards", "hosts"):
+                if not isinstance(cell.get(key), int) or cell[key] < 1:
+                    return fail(path, f"{where}.{key} must be a positive int")
+            for key in ("opens", "errors", "wrong", "map_fetches",
+                        "stale_retries", "noreply_retries", "handoffs",
+                        "handbacks"):
+                if not isinstance(cell.get(key), int) or cell[key] < 0:
+                    return fail(
+                        path, f"{where}.{key} must be a non-negative int")
+            for key in ("throughput_per_s", "p50_ms", "p99_ms",
+                        "flash_p99_ms"):
+                if not isinstance(cell.get(key), (int, float)) or \
+                        cell[key] < 0:
+                    return fail(
+                        path, f"{where}.{key} must be a non-negative number")
+            # The E14 safety gate is schema-level: a report recording a
+            # wrong reply is invalid, not merely a failed acceptance line.
+            if cell["wrong"] != 0:
+                return fail(path, f'{where}.wrong must be 0, '
+                            f'got {cell["wrong"]}')
+            extra = set(cell) - {"cell", "shards", "hosts", "opens",
+                                 "errors", "wrong", "throughput_per_s",
+                                 "p50_ms", "p99_ms", "flash_p99_ms",
+                                 "map_fetches", "stale_retries",
+                                 "noreply_retries", "handoffs", "handbacks"}
             if extra:
                 return fail(path, f"{where} has unknown keys {sorted(extra)}")
 

@@ -198,6 +198,21 @@ run_bench_smoke() {
   echo "bench-smoke OK"
 }
 
+run_scale() {
+  echo "==> scale (E14 production-day smoke: determinism + schema + safety)"
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_scale
+  # The shrunken day must pass its own acceptance gate (zero wrong replies,
+  # churn handoff + handback) ...
+  ./build/bench/bench_scale --smoke --json /tmp/scale_smoke1.json >/dev/null
+  # ... twice, byte-identically: every number is simulated time, so two
+  # runs of the same seed must produce the same JSON to the last digit.
+  ./build/bench/bench_scale --smoke --json /tmp/scale_smoke2.json >/dev/null
+  diff /tmp/scale_smoke1.json /tmp/scale_smoke2.json
+  python3 scripts/check_bench_json.py /tmp/scale_smoke1.json
+  echo "scale OK"
+}
+
 strip_host_timing() {
   sed -E 's/, "host_repeats": [0-9]+, "host_median_ms": [0-9.]+//' "$1"
 }
@@ -339,13 +354,14 @@ case "${1:-default}" in
   chk-off) run_chk_off ;;
   trace)   run_trace ;;
   bench-smoke) run_bench_smoke ;;
+  scale)   run_scale ;;
   perf)    run_perf ;;
   fault)   run_fault ;;
   obs)     run_obs ;;
   all)     run_preset default; run_preset asan; run_sanitize; run_lint
            run_slint; run_fuzz; run_chk_off; run_trace; run_bench_smoke
-           run_perf; run_fault; run_obs ;;
-  *) echo "usage: $0 [default|asan|sanitize|lint|slint|fuzz|chk-off|trace|bench-smoke|perf|fault|all|obs]" >&2
+           run_scale; run_perf; run_fault; run_obs ;;
+  *) echo "usage: $0 [default|asan|sanitize|lint|slint|fuzz|chk-off|trace|bench-smoke|scale|perf|fault|all|obs]" >&2
      exit 2 ;;
 esac
 echo "CI OK"

@@ -37,7 +37,7 @@ sim::Co<void> CentralNameServer::run(ipc::Process self) {
     }
     std::string name(name_len, '\0');
     auto fetched = co_await self.move_from(
-        env.sender, std::as_writable_bytes(std::span(name)), 0);
+        env, std::as_writable_bytes(std::span(name)), 0);
     if (!fetched.ok()) continue;
     // Registry work: comparable per-request cost to a CSNH server's parse.
     co_await self.compute(self.params().csname_parse);

@@ -273,7 +273,8 @@ void Process::forward_to_group(const Envelope& env, GroupId group) {
 V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> Process::move_from(ProcessId src,
                                                 std::span<std::byte> dest,
-                                                std::size_t offset) {
+                                                std::size_t offset,
+                                                const Envelope* txn) {
   ++domain_->stats_.moves;
   domain_->stats_.bytes_moved += dest.size();
   const bool local = src.local_to(host_id());
@@ -281,6 +282,10 @@ sim::Co<Result<std::size_t>> Process::move_from(ProcessId src,
   auto* srec = domain_->find(src);  // validate after the transfer time
   if (srec == nullptr || !srec->alive || !srec->awaiting_reply) {
     co_return ReplyCode::kNoReply;
+  }
+  if (txn != nullptr &&
+      static_cast<std::uint32_t>(srec->send_seq) != txn->txn_seq) {
+    co_return ReplyCode::kNoReply;  // sender moved past this transaction
   }
   // The sender's logical read segment is the pair (read, read2) addressed
   // as one contiguous range; stitch the copy across the seam.
@@ -314,6 +319,9 @@ sim::Co<Result<std::string_view>> Process::fetch_name(
   if (srec == nullptr || !srec->alive || !srec->awaiting_reply) {
     co_return ReplyCode::kNoReply;
   }
+  if (static_cast<std::uint32_t>(srec->send_seq) != env.txn_seq) {
+    co_return ReplyCode::kNoReply;  // sender moved past this transaction
+  }
   if (env.name.size() >= name_len) {
     // A server earlier in the forward chain already fetched (and a
     // forwarding copy attached) the bytes: fetch-once pays off here.
@@ -345,7 +353,8 @@ sim::Co<Result<std::string_view>> Process::fetch_name(
 V_BORROWS_SPAN
 sim::Co<Result<std::size_t>> Process::move_to(ProcessId dest,
                                               std::span<const std::byte> src,
-                                              std::size_t offset) {
+                                              std::size_t offset,
+                                              const Envelope* txn) {
   ++domain_->stats_.moves;
   domain_->stats_.bytes_moved += src.size();
   const bool local = dest.local_to(host_id());
@@ -353,6 +362,10 @@ sim::Co<Result<std::size_t>> Process::move_to(ProcessId dest,
   auto* drec = domain_->find(dest);
   if (drec == nullptr || !drec->alive || !drec->awaiting_reply) {
     co_return ReplyCode::kNoReply;
+  }
+  if (txn != nullptr &&
+      static_cast<std::uint32_t>(drec->send_seq) != txn->txn_seq) {
+    co_return ReplyCode::kNoReply;  // sender moved past this transaction
   }
   const auto seg = drec->exposed.write;
   if (offset + src.size() > seg.size()) co_return ReplyCode::kBadArgs;

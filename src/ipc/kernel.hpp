@@ -292,12 +292,36 @@ class Process {
 
   /// Copy `dest.size()` bytes from the blocked sender's read segment at
   /// `offset` into `dest`.  Charges the calibrated bulk-transfer time.
+  /// `txn` (when non-null) binds the transfer to that envelope's
+  /// transaction: if the sender has since timed out and issued a NEW send,
+  /// the transfer is refused with kNoReply instead of touching the buffers
+  /// of a transaction it does not belong to.  Servers must pass their
+  /// envelope (use the Envelope overloads below); the unchecked form exists
+  /// for transfers outside a request/reply transaction.
   [[nodiscard]] sim::Co<Result<std::size_t>> move_from(
-      ProcessId src, std::span<std::byte> dest, std::size_t offset = 0);
+      ProcessId src, std::span<std::byte> dest, std::size_t offset = 0,
+      const Envelope* txn = nullptr);
 
   /// Copy `src` into the blocked sender's write segment at `offset`.
+  /// See move_from for the `txn` transaction check.
   [[nodiscard]] sim::Co<Result<std::size_t>> move_to(
-      ProcessId dest, std::span<const std::byte> src, std::size_t offset = 0);
+      ProcessId dest, std::span<const std::byte> src, std::size_t offset = 0,
+      const Envelope* txn = nullptr);
+
+  /// Transaction-checked transfers: the server-side forms.  A request can
+  /// queue at a busy server long enough for its sender to time out and
+  /// move on; a transfer issued afterwards must die (kNoReply), not land
+  /// in whatever segment the sender exposed for its NEXT transaction.
+  [[nodiscard]] sim::Co<Result<std::size_t>> move_from(
+      const Envelope& env, std::span<std::byte> dest,
+      std::size_t offset = 0) {
+    return move_from(env.sender, dest, offset, &env);
+  }
+  [[nodiscard]] sim::Co<Result<std::size_t>> move_to(
+      const Envelope& env, std::span<const std::byte> src,
+      std::size_t offset = 0) {
+    return move_to(env.sender, src, offset, &env);
+  }
 
   /// Fetch the request's character-string name — the first `name_len`
   /// bytes of the blocked sender's read segments — fetch-once style: the

@@ -53,6 +53,10 @@ enum RequestCode : std::uint16_t {
   // --- misc services -------------------------------------------------------
   kGetTime = 0x0303,
   kLoadProgram = 0x0304,       ///< team server: load program image (MoveTo)
+  // 0x0305 is kRaiseException (exception_server.hpp defines it in place).
+  kFetchShardMap = 0x0306,     ///< shard fabric: current shard map (MoveTo
+                               ///< into the sender's write segment, reply
+                               ///< fields in naming/shard_map.hpp)
 };
 
 /// True when `code` denotes a request carrying the CSname standard header.

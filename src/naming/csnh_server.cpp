@@ -193,9 +193,10 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
                   });
   for (;;) {
     auto env = co_await self.receive();
+    const bool express = express_lane(env.request);
     {
       auto queue = work_queue_.write(self);
-      if (queue->size() >= team_.queue_cap) {
+      if (!express && queue->size() >= team_.queue_cap) {
         ++sheds_;
 #if V_TRACE_ENABLED
         cached_counter(self, m_sheds_, "sheds").inc();
@@ -215,7 +216,11 @@ sim::Co<void> CsnhServer::run(ipc::Process self) {
         reply_csname(self, env, msg::make_reply(ReplyCode::kBusy));
         continue;
       }
-      queue->push_back(std::move(env));
+      if (express) {
+        queue->push_front(std::move(env));
+      } else {
+        queue->push_back(std::move(env));
+      }
 #if V_TRACE_ENABLED
       cached_gauge(self, m_queue_depth_, "queue_depth")
           .set(static_cast<std::int64_t>(queue->size()));
@@ -399,6 +404,14 @@ sim::Co<void> CsnhServer::dispatch(ipc::Process& self, ipc::Envelope env) {
     default:
       reply = co_await handle_custom(self, env);
       break;
+  }
+  if (reply.code() == kSilentDiscard) {
+    // Group-member silence for misc ops: another member of the service
+    // group is the designated responder.  Settle the lint ledger so the
+    // unanswered request reads as deliberate, not as a leak.
+    metric_inc(self, "custom_mute");
+    self.domain().lint().note_unanswered(pid_.raw, env.sender.raw);
+    co_return;
   }
   self.reply(reply, env.sender);
 }
@@ -700,7 +713,7 @@ sim::Co<msg::Message> CsnhServer::do_query(ipc::Process& self,
   co_await self.compute(self.params().descriptor_fabricate);
   std::array<std::byte, ObjectDescriptor::kWireSize> record{};
   desc.value().encode(record);
-  auto moved = co_await self.move_to(env.sender, record);
+  auto moved = co_await self.move_to(env, record);
   if (!moved.ok()) co_return msg::make_reply(moved.code());
   Message reply = msg::make_reply(ReplyCode::kOk);
   reply.set_u16(wire::kOffQueryType,
@@ -715,7 +728,7 @@ sim::Co<msg::Message> CsnhServer::do_modify(ipc::Process& self,
                                             std::string_view leaf,
                                             std::size_t payload_offset) {
   std::array<std::byte, ObjectDescriptor::kWireSize> record{};
-  auto fetched = co_await self.move_from(env.sender, record, payload_offset);
+  auto fetched = co_await self.move_from(env, record, payload_offset);
   if (!fetched.ok()) co_return msg::make_reply(fetched.code());
   auto desc = ObjectDescriptor::decode(record);
   if (!desc.ok()) co_return msg::make_reply(desc.code());
@@ -735,7 +748,7 @@ sim::Co<msg::Message> CsnhServer::do_rename(ipc::Process& self,
   }
   std::string new_name(new_len, '\0');
   auto fetched = co_await self.move_from(
-      env.sender, std::as_writable_bytes(std::span(new_name)),
+      env, std::as_writable_bytes(std::span(new_name)),
       payload_offset);
   if (!fetched.ok()) co_return msg::make_reply(fetched.code());
   if (!is_simple_leaf(new_name)) {
@@ -858,7 +871,7 @@ sim::Co<msg::Message> CsnhServer::do_inverse_name(ipc::Process& self,
   const std::string& text = name.value();
   if (!text.empty()) {
     auto moved = co_await self.move_to(
-        env.sender, std::as_bytes(std::span(text.data(), text.size())));
+        env, std::as_bytes(std::span(text.data(), text.size())));
     if (!moved.ok()) co_return msg::make_reply(moved.code());
   }
   Message reply = msg::make_reply(ReplyCode::kOk);
@@ -930,7 +943,7 @@ sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
         buffer.resize(got.value());
       }
       if (!buffer.empty()) {
-        auto moved = co_await self.move_to(env.sender, buffer);
+        auto moved = co_await self.move_to(env, buffer);
         if (!moved.ok()) co_return msg::make_reply(moved.code());
       }
       Message reply = msg::make_reply(ReplyCode::kOk);
@@ -950,7 +963,7 @@ sim::Co<std::optional<msg::Message>> CsnhServer::handle_instance_op(
         co_return msg::make_reply(ReplyCode::kBadArgs);
       }
       std::vector<std::byte> buffer(count);
-      auto fetched = co_await self.move_from(env.sender, buffer, 0);
+      auto fetched = co_await self.move_from(env, buffer, 0);
       if (!fetched.ok()) co_return msg::make_reply(fetched.code());
       auto wrote = co_await object->write_block(self, block, buffer);
       if (!wrote.ok()) co_return msg::make_reply(wrote.code());

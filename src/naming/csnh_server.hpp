@@ -277,8 +277,36 @@ class CsnhServer {
       std::string_view leaf, std::string_view name);
 
   /// Non-CSname requests this base does not know.  Default: kIllegalRequest.
+  ///
+  /// A handler may return silent_discard() to answer NOTHING — the group
+  /// discipline for misc ops multicast to a service group: only the
+  /// designated member replies, everyone else stays silent so a stray
+  /// second reply can never race a later transaction of the same client
+  /// (the kernel matches replies to senders, not to transactions; see
+  /// ShardPrefixServer's map fetch).  The sender's group timeout covers
+  /// the nobody-answered case.
   virtual sim::Co<msg::Message> handle_custom(ipc::Process& self,
                                               ipc::Envelope& env);
+
+  /// Requests the receptionist queues at the FRONT of the work queue and
+  /// exempts from load shedding: tiny metadata queries (e.g. a shard-map
+  /// fetch) whose answers unblock routing decisions.  A saturated team's
+  /// queue wait exceeds the sender's group timeout, so a back-of-queue
+  /// metadata reply would always arrive too late to be accepted — the
+  /// express lane bounds its wait to one in-flight dispatch instead.
+  [[nodiscard]] virtual bool express_lane(const msg::Message&) const {
+    return false;
+  }
+
+  /// Sentinel reply meaning "do not reply at all" (see handle_custom).
+  /// Never appears on the wire: dispatch intercepts it and settles the
+  /// lint ledger instead of sending.
+  static constexpr std::uint16_t kSilentDiscard = 0xFFFF;
+  [[nodiscard]] static msg::Message silent_discard() {
+    msg::Message m;
+    m.set_code(kSilentDiscard);
+    return m;
+  }
 
   /// I/O-protocol instance operations (Query/Read/Write/ReleaseInstance).
   /// The default drives the InstanceObject in `instances()`.  Overriders

@@ -1,0 +1,92 @@
+#include "naming/shard_map.hpp"
+
+namespace v::naming {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>(v >> 8));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t get_u16(std::span<const std::byte> in, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(in[at]) |
+      (static_cast<std::uint16_t>(in[at + 1]) << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  return static_cast<std::uint32_t>(get_u16(in, at)) |
+         (static_cast<std::uint32_t>(get_u16(in, at + 2)) << 16);
+}
+
+}  // namespace
+
+bool ShardMap::well_formed() const noexcept {
+  if (shards.empty() || !shards.front().lo.empty()) return false;
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    if (shards[i - 1].lo >= shards[i].lo) return false;
+  }
+  return true;
+}
+
+std::size_t ShardMap::route(std::string_view prefix) const noexcept {
+  // Last shard with lo <= prefix.  shards[0].lo == "" guarantees a match.
+  std::size_t lo = 0;
+  std::size_t hi = shards.size();  // first shard with lo > prefix
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (shards[mid].lo <= prefix) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void ShardMap::serialize(std::vector<std::byte>& out) const {
+  put_u32(out, kMagic);
+  put_u32(out, version);
+  put_u16(out, static_cast<std::uint16_t>(shards.size()));
+  for (const Shard& s : shards) {
+    put_u32(out, s.server_pid);
+    put_u32(out, s.generation);
+    put_u16(out, static_cast<std::uint16_t>(s.lo.size()));
+    for (const char c : s.lo) out.push_back(static_cast<std::byte>(c));
+  }
+}
+
+bool ShardMap::parse(std::span<const std::byte> in, ShardMap& out) {
+  if (in.size() < 10 || get_u32(in, 0) != kMagic) return false;
+  ShardMap parsed;
+  parsed.version = get_u32(in, 4);
+  const std::uint16_t count = get_u16(in, 8);
+  std::size_t at = 10;
+  parsed.shards.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    if (at + 10 > in.size()) return false;
+    Shard s;
+    s.server_pid = get_u32(in, at);
+    s.generation = get_u32(in, at + 4);
+    const std::uint16_t len = get_u16(in, at + 8);
+    at += 10;
+    if (at + len > in.size()) return false;
+    s.lo.reserve(len);
+    for (std::uint16_t c = 0; c < len; ++c) {
+      s.lo.push_back(static_cast<char>(in[at + c]));
+    }
+    at += len;
+    parsed.shards.push_back(std::move(s));
+  }
+  if (!parsed.well_formed()) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+}  // namespace v::naming

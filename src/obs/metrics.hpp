@@ -24,52 +24,24 @@
 #define V_TRACE_ENABLED 1
 #endif
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotate.hpp"
+
 #if V_TRACE_ENABLED
-#include <array>
-#include <bit>
-#include <cstdint>
 #include <functional>
 #include <map>
 
-#include "common/annotate.hpp"
 #include "sim/time.hpp"
 #endif
 
 namespace v::obs {
-
-#if V_TRACE_ENABLED
-
-/// Monotone event count.
-class Counter {
- public:
-  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
-
- private:
-  std::uint64_t value_ = 0;
-};
-
-/// Point-in-time level; remembers its high-water mark.
-class Gauge {
- public:
-  void set(std::int64_t v) noexcept {
-    value_ = v;
-    if (v > high_water_) high_water_ = v;
-  }
-  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
-  [[nodiscard]] std::int64_t high_water() const noexcept {
-    return high_water_;
-  }
-
- private:
-  std::int64_t value_ = 0;
-  std::int64_t high_water_ = 0;
-};
 
 /// HdrHistogram-style log-bucketed histogram: 16 linear sub-buckets per
 /// power-of-two octave over a 64-bit value range, so record() is a couple
@@ -79,6 +51,12 @@ class Gauge {
 /// per read is fine for a 20-row bench table and fatal for millions of
 /// E12 opens.  Values are non-negative doubles (typically simulated
 /// milliseconds), quantized to 1/1024 of the input unit (~1 µs for ms).
+///
+/// Deliberately OUTSIDE the V_TRACE guard: it is a header-only value type
+/// with no registry ties (no v::obs:: symbol exists for it), and bench /
+/// workload harness code streams samples through it in every build
+/// flavour — observability gating applies to the domain's registries, not
+/// to a client-side statistics accumulator.
 class LogHistogram {
  public:
   static constexpr int kSubBucketBits = 4;  ///< 16 sub-buckets per octave
@@ -169,6 +147,35 @@ class LogHistogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+#if V_TRACE_ENABLED
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level; remembers its high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::int64_t high_water() const noexcept {
+    return high_water_;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t high_water_ = 0;
 };
 
 /// Sample distribution (count/mean/percentiles via obs::LogHistogram —

@@ -50,7 +50,7 @@ sim::Co<msg::Message> ExceptionServer::handle_custom(ipc::Process& self,
   std::string detail(detail_len, '\0');
   if (detail_len > 0) {
     auto fetched = co_await self.move_from(
-        env.sender, std::as_writable_bytes(std::span(detail)), 0);
+        env, std::as_writable_bytes(std::span(detail)), 0);
     if (!fetched.ok()) co_return msg::make_reply(fetched.code());
   }
   Report report;

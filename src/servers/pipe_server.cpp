@@ -226,7 +226,7 @@ sim::Co<void> PipeServer::serve_read(ipc::Process& self,
     pipe.buffer.erase(pipe.buffer.begin(),
                       pipe.buffer.begin() + static_cast<std::ptrdiff_t>(n));
   }
-  auto moved = co_await self.move_to(env.sender, out);
+  auto moved = co_await self.move_to(env, out);
   if (!moved.ok()) {
     // Reader vanished mid-transfer: restore the unclaimed bytes at the
     // front so the stream position is preserved for the next reader.
@@ -299,7 +299,7 @@ sim::Co<std::optional<msg::Message>> PipeServer::handle_instance_op(
       std::vector<std::byte> data(count);
       {
         ServiceScope busy(pipe.in_service);
-        auto fetched = co_await self.move_from(env.sender, data, 0);
+        auto fetched = co_await self.move_from(env, data, 0);
         if (!fetched.ok()) co_return msg::make_reply(fetched.code());
       }
       if (pipe.buffer.size() + count > capacity_bytes_) {

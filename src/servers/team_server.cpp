@@ -53,7 +53,7 @@ sim::Co<msg::Message> TeamServer::do_load(ipc::Process& self,
   }
   std::string name(name_len, '\0');
   auto fetched = co_await self.move_from(
-      env.sender, std::as_writable_bytes(std::span(name)), 0);
+      env, std::as_writable_bytes(std::span(name)), 0);
   if (!fetched.ok()) co_return msg::make_reply(fetched.code());
 
   if (!rt_) rt_ = co_await svc::Rt::attach(self, default_context_);

@@ -12,15 +12,9 @@ namespace v::sim {
 
 /// Collects scalar samples (typically simulated milliseconds) and reports
 /// summary statistics.  Stores all samples; simulation scale keeps this
-/// cheap and allows exact percentiles.
-///
-/// Deprecation note (PR 8): Accumulator remains the right tool where the
-/// sample count is small and exactness matters — bench reproduction rows,
-/// test assertions — but it is no longer the metrics-registry substrate.
-/// Unbounded storage plus a sort per percentile read does not survive the
-/// ROADMAP's production-day workloads; registry histograms are
-/// obs::LogHistogram (fixed footprint, O(1) record, ≤6.25% relative
-/// error).  New aggregation code should start there.
+/// cheap and allows exact percentiles.  Use it where the sample count is
+/// small and exactness matters (test assertions); streaming aggregation
+/// belongs in obs::LogHistogram (fixed footprint, O(1) record).
 class Accumulator {
  public:
   void add(double sample) { samples_.push_back(sample); }

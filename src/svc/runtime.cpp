@@ -85,10 +85,8 @@ void Rt::observe_reply_hints() {
   cache_->observe_origin(self_.last_binding_hint());
 }
 
-namespace {
-/// Decode a successful kCreateInstance reply into an OpenedFile.
 V_HOT_PATH
-Rt::OpenedFile decode_open_reply(ipc::Process self, const Message& reply) {
+Rt::OpenedFile Rt::decode_open_reply(ipc::Process self, const Message& reply) {
   io::InstanceInfo info;
   info.size_bytes = reply.u32(io::kOffCreateSize);
   info.block_bytes = reply.u16(io::kOffCreateBlock);
@@ -103,7 +101,6 @@ Rt::OpenedFile decode_open_reply(ipc::Process self, const Message& reply) {
                                       reply.u32(io::kOffCreateContextId)};
   return Rt::OpenedFile{File(self, server, instance, info), directory};
 }
-}  // namespace
 
 /// Split a name into (directory-part, leaf).  An empty directory means
 /// "interpret in the current context" — nothing cacheable.
@@ -153,26 +150,38 @@ sim::Co<Result<Rt::OpenedFile>> Rt::open_resolved(std::string_view name,
 
 V_BORROWS_SPAN
 V_HOT_PATH
-sim::Co<Result<Rt::OpenedFile>> Rt::open_via_binding(
-    std::string_view name, std::uint16_t mode,
-    const NameCache::Binding& binding, SplitName split) {
+sim::Co<msg::Message> Rt::open_at(naming::ContextPair target,
+                                  std::string_view name,
+                                  std::uint16_t name_index,
+                                  std::uint16_t mode,
+                                  std::uint32_t expected_generation) {
   co_await self_.compute(self_.params().send_build);
   Message request;
   request.set_code(RequestCode::kCreateInstance);
   msg::cs::set_mode(request, mode);
   msg::cs::set_name_length(request, static_cast<std::uint16_t>(name.size()));
-  // Address the cached final context directly, with the name index already
-  // past the directory part — the server interprets only the leaf — and
-  // demand the generation we learned the binding under.
-  msg::cs::set_name_index(
-      request, static_cast<std::uint16_t>(name.size() - split.leaf.size()));
-  msg::cs::set_context_id(request, binding.target.context);
-  msg::cs::set_expected_generation(request, binding.generation);
+  // Address the target context directly, with the name index already past
+  // whatever part the binding covers — the server interprets only the rest
+  // — and demand the generation the binding was learned under.
+  msg::cs::set_name_index(request, name_index);
+  msg::cs::set_context_id(request, target.context);
+  msg::cs::set_expected_generation(request, expected_generation);
   ipc::Segments segments;
   segments.read = std::as_bytes(std::span(name.data(), name.size()));
-  const Message reply =
-      co_await self_.send(request, binding.target.server, segments);
+  const Message reply = co_await self_.send(request, target.server, segments);
   observe_reply_hints();
+  co_return reply;
+}
+
+V_BORROWS_SPAN
+V_HOT_PATH
+sim::Co<Result<Rt::OpenedFile>> Rt::open_via_binding(
+    std::string_view name, std::uint16_t mode,
+    const NameCache::Binding& binding, SplitName split) {
+  const Message reply = co_await open_at(
+      binding.target, name,
+      static_cast<std::uint16_t>(name.size() - split.leaf.size()), mode,
+      binding.generation);
   if (reply.reply_code() != ReplyCode::kOk) co_return reply.reply_code();
   // Refresh the entry from the reply hint: a create-mode open legitimately
   // advanced the generation, and the next cached open must expect the new

@@ -115,6 +115,25 @@ class Rt {
   [[nodiscard]] sim::Co<Result<OpenedFile>> open_detailed(
       std::string_view name, std::uint16_t mode);
 
+  /// One-hop kCreateInstance addressed straight at `target` instead of
+  /// routing by the '['-convention: the server interprets only
+  /// name[name_index..] in target.context, validated against
+  /// `expected_generation` (0 = no expectation).  Returns the raw reply;
+  /// decode successes with decode_open_reply.  This is the shared substrate
+  /// of cached opens and of shard-map routing (svc/shard_router.hpp), which
+  /// both learn (server, context, generation) bindings out of band and must
+  /// have them REFUSED — kStaleContext — rather than wrongly served when
+  /// the binding has gone stale.
+  [[nodiscard]] sim::Co<msg::Message> open_at(naming::ContextPair target,
+                                              std::string_view name,
+                                              std::uint16_t name_index,
+                                              std::uint16_t mode,
+                                              std::uint32_t expected_generation);
+
+  /// Decode a successful (kOk) kCreateInstance reply.
+  [[nodiscard]] static OpenedFile decode_open_reply(ipc::Process self,
+                                                    const msg::Message& reply);
+
   /// Open with a temporarily-attached name cache: equivalent to
   /// set_cache(&cache), open(name, mode), restore.  Kept as the
   /// entry point of the section 2.2 caching study — now validated, so a

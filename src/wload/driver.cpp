@@ -1,0 +1,152 @@
+#include "wload/driver.hpp"
+
+#include <cstring>
+
+#include "naming/protocol.hpp"
+
+namespace v::wload {
+
+Driver::Driver(ipc::Domain& dom, const Forest& forest, Config cfg)
+    : dom_(dom),
+      forest_(forest),
+      cfg_(std::move(cfg)),
+      zipf_(forest.prefix_count(), cfg_.scenario.zipf_alpha) {
+  // Golden-ratio stride, nudged until coprime with the prefix count: a
+  // fixed bijection scattering Zipf ranks over the sorted prefix list.
+  const std::size_t n = forest_.prefix_count();
+  if (n > 1) {
+    rank_stride_ = std::max<std::size_t>(1, (n * 618) / 1000);
+    auto gcd = [](std::size_t a, std::size_t b) {
+      while (b != 0) {
+        const std::size_t t = a % b;
+        a = b;
+        b = t;
+      }
+      return a;
+    };
+    while (gcd(rank_stride_, n) != 1) ++rank_stride_;
+  }
+  sim::SimTime at = dom_.now();
+  phase_ends_.reserve(cfg_.scenario.phases.size());
+  phases_.reserve(cfg_.scenario.phases.size());
+  for (const Phase& p : cfg_.scenario.phases) {
+    at += p.duration;
+    phase_ends_.push_back(at);
+    PhaseStats stats;
+    stats.kind = p.kind;
+    stats.duration = p.duration;
+    phases_.push_back(std::move(stats));
+  }
+  for (std::size_t i = 0; i < cfg_.hosts; ++i) {
+    ipc::Host& host = dom_.add_host("wl" + std::to_string(i));
+    host.spawn("client", [this, i](ipc::Process self) {
+      return client_day(self, i);
+    });
+  }
+}
+
+std::size_t Driver::phase_at(sim::SimTime t) const noexcept {
+  for (std::size_t i = 0; i + 1 < phase_ends_.size(); ++i) {
+    if (t < phase_ends_[i]) return i;
+  }
+  return phase_ends_.empty() ? 0 : phase_ends_.size() - 1;
+}
+
+sim::Co<void> Driver::client_day(ipc::Process self, std::size_t index) {
+  HostStream rng(cfg_.scenario.seed, index);
+  svc::Rt rt(self, svc::NameEnv{});
+  svc::ShardRouter::Config router_cfg = cfg_.router;
+  router_cfg.fabric_group = cfg_.fabric_group;
+  svc::ShardRouter router(rt, router_cfg);
+
+  const sim::SimTime end =
+      phase_ends_.empty() ? self.now() : phase_ends_.back();
+  const auto think_span = static_cast<std::uint64_t>(
+      cfg_.scenario.think_max > cfg_.scenario.think_min
+          ? cfg_.scenario.think_max - cfg_.scenario.think_min
+          : 0);
+  // Jittered start inside the first phase: the fleet ramps in instead of
+  // stampeding the fabric at t=0 with cfg_.hosts simultaneous map fetches.
+  const sim::SimDuration first = cfg_.scenario.phases.empty()
+      ? 0
+      : cfg_.scenario.phases.front().duration;
+  if (first > 0) {
+    co_await self.delay(static_cast<sim::SimDuration>(
+        rng.below(static_cast<std::uint64_t>(first))));
+  }
+
+  while (self.now() < end) {
+    const std::size_t pi = phase_at(self.now());
+    const Phase& phase = cfg_.scenario.phases[pi];
+    // Draw the target: Zipf-popular rank scattered over the prefix list,
+    // overridden by the flash crowd (whose hot_prefix is a prefix INDEX).
+    std::size_t prefix =
+        (zipf_.sample(rng) * rank_stride_) % forest_.prefix_count();
+    if (phase.kind == PhaseKind::kFlash && rng.chance(phase.hot_fraction)) {
+      prefix = phase.hot_prefix % forest_.prefix_count();
+    }
+    const std::size_t file = forest_.file_under(prefix, rng);
+    const std::string& name = forest_.name(file);
+    const bool verify = rng.chance(cfg_.scenario.read_fraction);
+
+    const sim::SimTime started = self.now();
+    auto opened = co_await router.open(name, naming::wire::kOpenRead);
+    PhaseStats& stats = phases_[pi];  // charged to the START window
+    if (!opened.ok()) {
+      ++stats.errors;
+    } else {
+      svc::File file_handle = opened.take().file;
+      if (verify) {
+        auto bytes = co_await file_handle.read_all();
+        if (!bytes.ok()) {
+          ++stats.errors;
+        } else {
+          const std::string expect = Forest::content_for(name);
+          const auto& got = bytes.value();
+          const bool match =
+              got.size() == expect.size() &&
+              (expect.empty() ||
+               std::memcmp(got.data(), expect.data(), expect.size()) == 0);
+          if (!match) ++stats.wrong;
+          ++stats.reads;
+        }
+      }
+      (void)co_await file_handle.close();
+      ++stats.opens;
+      stats.open_ms.record(sim::to_ms(self.now() - started));
+    }
+    // Think, then go again — scripted pace, not closed-loop saturation.
+    co_await self.delay(cfg_.scenario.think_min +
+                        static_cast<sim::SimDuration>(
+                            think_span == 0 ? 0 : rng.below(think_span)));
+  }
+
+  const svc::ShardRouter::Stats& rs = router.stats();
+  router_totals_.opens += rs.opens;
+  router_totals_.map_fetches += rs.map_fetches;
+  router_totals_.stale_retries += rs.stale_retries;
+  router_totals_.noreply_retries += rs.noreply_retries;
+  router_totals_.busy_retries += rs.busy_retries;
+  router_totals_.failures += rs.failures;
+  ++done_;
+}
+
+std::uint64_t Driver::total_opens() const noexcept {
+  std::uint64_t total = 0;
+  for (const PhaseStats& p : phases_) total += p.opens;
+  return total;
+}
+
+std::uint64_t Driver::total_errors() const noexcept {
+  std::uint64_t total = 0;
+  for (const PhaseStats& p : phases_) total += p.errors;
+  return total;
+}
+
+std::uint64_t Driver::wrong_replies() const noexcept {
+  std::uint64_t total = 0;
+  for (const PhaseStats& p : phases_) total += p.wrong;
+  return total;
+}
+
+}  // namespace v::wload

@@ -1,0 +1,102 @@
+// The workload driver: thousands of simulated client hosts playing one
+// Scenario against a shard fabric (DESIGN.md 4m, EXPERIMENTS.md E14).
+//
+// Each client host gets its own splitmix64 stream derived from (scenario
+// seed, host index) — see rng.hpp — so every decision a host makes (start
+// jitter, prefix draws, read-vs-open draws, think times) is a function of
+// its index alone.  Growing the fleet from H to H' > H hosts replays hosts
+// 0..H-1 bit-for-bit; per-host curves across a sweep are therefore
+// comparable points, not re-rolls.
+//
+// Every open is verified two ways:
+//   * protocol: routed through a ShardRouter, so a stale shard map is
+//     refused (kStaleContext) and retried — never wrongly answered;
+//   * content: a read_fraction of opens read the file and compare the
+//     bytes against Forest::content_for(name), the pure content oracle.
+//     ANY mismatch counts as a wrong reply; E14's churn acceptance gate is
+//     that this stays zero while shards crash and restart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipc/kernel.hpp"
+#include "obs/metrics.hpp"
+#include "svc/shard_router.hpp"
+#include "wload/forest.hpp"
+#include "wload/rng.hpp"
+#include "wload/scenario.hpp"
+
+namespace v::wload {
+
+/// Everything observed inside one scripted phase window, fleet-wide.
+/// Operations are bucketed by their START time, so a flash-crowd open that
+/// finishes during churn still charges the flash window.
+struct PhaseStats {
+  PhaseKind kind = PhaseKind::kSteady;
+  sim::SimDuration duration = 0;
+  std::uint64_t opens = 0;     ///< successful opens
+  std::uint64_t reads = 0;     ///< opens that also read + verified
+  std::uint64_t errors = 0;    ///< opens that exhausted the router's retries
+  std::uint64_t wrong = 0;     ///< content-oracle mismatches (MUST stay 0)
+  obs::LogHistogram open_ms;   ///< per-open latency, retries included
+
+  [[nodiscard]] double throughput_per_s() const noexcept {
+    const double secs = sim::to_ms(duration) / 1000.0;
+    return secs > 0 ? static_cast<double>(opens) / secs : 0.0;
+  }
+};
+
+class Driver {
+ public:
+  struct Config {
+    std::size_t hosts = 64;
+    Scenario scenario;
+    /// Fabric process group the routers fetch shard maps from.
+    ipc::GroupId fabric_group = 0xFAB0;
+    svc::ShardRouter::Config router{};
+  };
+
+  /// Spawns one client host ("wl<i>") per simulated user, each running one
+  /// client process; call before dom.run().  `forest` must outlive the run.
+  Driver(ipc::Domain& dom, const Forest& forest, Config cfg);
+
+  // --- results (valid after dom.run()) ---------------------------------------
+
+  [[nodiscard]] const std::vector<PhaseStats>& phases() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] std::uint64_t total_opens() const noexcept;
+  [[nodiscard]] std::uint64_t total_errors() const noexcept;
+  /// Content-oracle mismatches across the whole run.  The chaos gate.
+  [[nodiscard]] std::uint64_t wrong_replies() const noexcept;
+  /// Sum of the per-client router stats.
+  [[nodiscard]] const svc::ShardRouter::Stats& router_stats() const noexcept {
+    return router_totals_;
+  }
+  /// Clients that finished their script.
+  [[nodiscard]] std::size_t clients_done() const noexcept { return done_; }
+
+ private:
+  /// One client host's day.  `index` selects its decision stream.
+  sim::Co<void> client_day(ipc::Process self, std::size_t index);
+  /// Phase window containing `t` (clamped to the last phase).
+  [[nodiscard]] std::size_t phase_at(sim::SimTime t) const noexcept;
+
+  ipc::Domain& dom_;
+  const Forest& forest_;
+  Config cfg_;
+  Zipf zipf_;
+  /// Zipf RANK -> prefix INDEX stride (coprime with the prefix count, so
+  /// the mapping is a bijection).  Popularity must not correlate with
+  /// lexicographic order: the map shards the SORTED prefix list into
+  /// contiguous ranges, and an identity mapping would land the whole Zipf
+  /// head on shard 0, capping every sweep at one team's ceiling.
+  std::size_t rank_stride_ = 1;
+  std::vector<sim::SimTime> phase_ends_;  ///< cumulative boundaries
+  std::vector<PhaseStats> phases_;
+  svc::ShardRouter::Stats router_totals_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace v::wload

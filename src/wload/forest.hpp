@@ -1,0 +1,102 @@
+// Naming-forest synthesis for the workload engine (DESIGN.md 4m).
+//
+// A production day runs against a populated name space, not three
+// hand-written files: this generator synthesizes a forest of prefix-rooted
+// directory trees with configurable fanout and component-length
+// distributions, deterministically from a seed, and installs it across a
+// pool of V file servers.  Every file's content is a pure function of its
+// full name (content_for), which is what makes the chaos oracle possible:
+// any reader anywhere can verify any reply without shared state.
+//
+// Compatibility mode: with a non-empty `prefix_stem` and zero name-length
+// spread, prefixes come out as "<stem>0", "<stem>1", ... and leaf names are
+// fixed — exactly the hand-rolled lists the E4/E5 benches used before this
+// generator existed, so those reports stay bit-identical while sharing the
+// code path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "servers/file_server.hpp"
+#include "servers/prefix_server.hpp"
+#include "wload/rng.hpp"
+
+namespace v::wload {
+
+/// Shape of the synthesized forest.
+struct ForestSpec {
+  std::size_t prefixes = 64;        ///< top-level "[p]" contexts
+  std::size_t dirs_per_prefix = 4;  ///< directories under each prefix
+  std::size_t files_per_dir = 8;    ///< leaf files per directory
+  /// Path component length distribution (uniform in [min, max]).  min == 0
+  /// selects compatibility mode: prefix names are "<stem><index>", the
+  /// directory is "d<index>" and leaves are "f<index>.dat".
+  std::size_t name_min = 4;
+  std::size_t name_max = 12;
+  std::uint64_t seed = 1;
+  std::string prefix_stem = "p";  ///< stem for prefix names
+};
+
+/// A generated forest: prefix names, full open names, and the deterministic
+/// content oracle.  Construction is pure (no Domain involved); install()
+/// pushes the files into a server pool.
+class Forest {
+ public:
+  explicit Forest(ForestSpec spec);
+
+  [[nodiscard]] const ForestSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t prefix_count() const noexcept {
+    return prefix_names_.size();
+  }
+  [[nodiscard]] const std::string& prefix(std::size_t i) const {
+    return prefix_names_[i];
+  }
+  /// Total leaf files in the forest.
+  [[nodiscard]] std::size_t file_count() const noexcept {
+    return names_.size();
+  }
+  /// Full open name of file `f`: "[prefix]dir/leaf".
+  [[nodiscard]] const std::string& name(std::size_t f) const {
+    return names_[f];
+  }
+  /// Index of the prefix `name(f)` is rooted in.
+  [[nodiscard]] std::size_t prefix_of(std::size_t f) const noexcept {
+    return f / (spec_.dirs_per_prefix * spec_.files_per_dir);
+  }
+  /// A file drawn uniformly from the files under prefix `p`.
+  [[nodiscard]] std::size_t file_under(std::size_t p,
+                                       Splitmix64& rng) const noexcept {
+    const std::size_t per = spec_.dirs_per_prefix * spec_.files_per_dir;
+    return p * per + rng.below(per);
+  }
+
+  /// The content oracle: file bytes as a pure function of the full name.
+  /// Short (fits one I/O block) so verification reads stay cheap.
+  [[nodiscard]] static std::string content_for(std::string_view name);
+
+  /// Install the forest across `servers` (prefix i lands on server
+  /// i % servers.size(), under a top-level directory named after the
+  /// prefix) and return the prefix table: one binding per prefix, ready
+  /// for ContextPrefixServer::define or a shard fabric.  `pids[i]` is the
+  /// spawned pid of `servers[i]`.
+  [[nodiscard]] std::vector<
+      std::pair<std::string, servers::ContextPrefixServer::Entry>>
+  install(std::span<servers::FileServer* const> servers,
+          std::span<const ipc::ProcessId> pids) const;
+
+ private:
+  [[nodiscard]] std::string component(Splitmix64& rng) const;
+
+  ForestSpec spec_;
+  std::vector<std::string> prefix_names_;
+  std::vector<std::string> dir_names_;   ///< prefixes * dirs_per_prefix
+  std::vector<std::string> names_;       ///< full "[p]d/f" open names
+  std::vector<std::string> rel_paths_;   ///< "p/d/f" server-relative paths
+};
+
+}  // namespace v::wload

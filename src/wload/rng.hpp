@@ -1,0 +1,131 @@
+// Deterministic random streams for the workload engine (DESIGN.md 4m).
+//
+// The production-day generator must satisfy a stronger property than "same
+// seed, same run": ADDING HOSTS MUST NEVER PERTURB EXISTING HOSTS.  A sweep
+// that grows the fleet from 256 to 1024 clients has to replay the first 256
+// hosts' decision sequences bit-for-bit, or curve points stop being
+// comparable.  A single shared mt19937 cannot do that (every draw advances
+// one global stream), so each host derives its own splitmix64 stream from
+// (scenario seed, host index): streams are independent by construction and
+// a host's sequence depends on nothing but its own index.
+//
+// splitmix64 (Steele et al., "Fast splittable pseudorandom number
+// generators") is the standard seeding/stream-splitting mix: one 64-bit
+// add + three xor-shift-multiply rounds, passes BigCrush, and is cheap
+// enough to sit on the per-operation path of a million-open workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace v::wload {
+
+/// One splitmix64 stream.  Deterministic, allocation-free, copyable.
+class Splitmix64 {
+ public:
+  explicit constexpr Splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).  n == 0 returns 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next() % n;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  constexpr bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless seed mixer: the stream for host `index` under scenario `seed`.
+/// Two rounds of splitmix on (seed ^ f(index)) decorrelate adjacent hosts.
+[[nodiscard]] constexpr std::uint64_t host_stream_seed(
+    std::uint64_t seed, std::uint64_t index) noexcept {
+  Splitmix64 mixer(seed ^ (0x632be59bd9b4e019ULL * (index + 1)));
+  (void)mixer.next();
+  return mixer.next();
+}
+
+/// The per-host decision stream: splitmix64 over host_stream_seed.
+class HostStream : public Splitmix64 {
+ public:
+  HostStream(std::uint64_t scenario_seed, std::uint64_t host_index) noexcept
+      : Splitmix64(host_stream_seed(scenario_seed, host_index)) {}
+};
+
+/// Zipf(alpha) sampler over ranks [0, n) via a precomputed CDF and binary
+/// search.  Rank 0 is the most popular.  alpha == 0 degenerates to uniform.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double alpha) : cdf_(n) {
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / pow_alpha(static_cast<double>(k + 1), alpha);
+      cdf_[k] = total;
+    }
+    for (std::size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Draw a rank using `rng`'s next value.
+  [[nodiscard]] std::size_t sample(Splitmix64& rng) const noexcept {
+    if (cdf_.empty()) return 0;
+    const double u = rng.unit();
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  /// x^alpha without <cmath> pow's libm cross-platform wobble: exp/log via
+  /// the double-precision identities would do, but repeated squaring over
+  /// a fixed-point exponent keeps the table bit-identical everywhere.
+  [[nodiscard]] static double pow_alpha(double x, double alpha) noexcept {
+    // alpha quantized to 1/1024: plenty for workload shaping, and the
+    // fixed-point loop below is exactly reproducible across libms.
+    auto q = static_cast<std::uint64_t>(alpha * 1024.0 + 0.5);
+    double result = 1.0;
+    // x^(q/1024) = product over set bits of q of x^(2^i / 1024), computed
+    // by 10 successive square roots of x (each exactly rounded by IEEE).
+    double root = x;  // x^(1024/1024)
+    for (int bit = 10; bit >= 0 && q != 0; --bit) {
+      if ((q >> bit) & 1) {
+        result *= root;
+        q &= ~(1ULL << bit);
+      }
+      root = sqrt_exact(root);
+    }
+    return result;
+  }
+
+  /// IEEE-exact sqrt (std::sqrt is correctly rounded, but pull it through
+  /// the builtin to avoid any errno/exception-state library divergence).
+  [[nodiscard]] static double sqrt_exact(double x) noexcept {
+    return __builtin_sqrt(x);
+  }
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace v::wload

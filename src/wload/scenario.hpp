@@ -1,0 +1,83 @@
+// Production-day scripting for the workload engine (DESIGN.md 4m).
+//
+// A Scenario is a phase script every simulated client host plays through on
+// its own deterministic decision stream: warm up gently, hold a steady
+// state, pile onto one hot prefix (the flash crowd), keep working while a
+// v::fault schedule crashes and restarts fabric shards (membership churn).
+// The phases carve the run's timeline into labelled windows; the Driver
+// buckets every operation's outcome and latency into the window it STARTED
+// in, so E14 can report "flash-crowd p99" as a first-class number instead
+// of a smear over the whole run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace v::wload {
+
+enum class PhaseKind : std::uint8_t {
+  kWarmup,  ///< ramp-in; jittered client starts land here
+  kSteady,  ///< Zipf-popular traffic at the scripted think pace
+  kFlash,   ///< `hot_fraction` of draws collapse onto `hot_prefix`
+  kChurn,   ///< steady traffic while a FaultPlan kills/restarts shards
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PhaseKind k) noexcept {
+  switch (k) {
+    case PhaseKind::kWarmup: return "warmup";
+    case PhaseKind::kSteady: return "steady";
+    case PhaseKind::kFlash: return "flash";
+    case PhaseKind::kChurn: return "churn";
+  }
+  return "?";
+}
+
+struct Phase {
+  PhaseKind kind = PhaseKind::kSteady;
+  sim::SimDuration duration = 0;
+  /// kFlash only: probability that a prefix draw is redirected to
+  /// `hot_prefix` instead of the Zipf sample.
+  double hot_fraction = 0.0;
+  std::size_t hot_prefix = 0;
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;
+  /// Popularity skew across prefixes (rank 0 hottest); 0 = uniform.
+  double zipf_alpha = 0.9;
+  /// Fraction of opens that also read the file and verify its bytes
+  /// against Forest::content_for — the chaos oracle.  The rest open/close.
+  double read_fraction = 0.5;
+  /// Per-operation think time, uniform in [min, max] on the host's stream.
+  sim::SimDuration think_min = 20 * sim::kMillisecond;
+  sim::SimDuration think_max = 120 * sim::kMillisecond;
+  std::vector<Phase> phases;
+
+  [[nodiscard]] sim::SimDuration total_duration() const noexcept {
+    sim::SimDuration total = 0;
+    for (const Phase& p : phases) total += p.duration;
+    return total;
+  }
+
+  /// The default production day: warm-up, steady state, flash crowd on
+  /// prefix 0, churn window, cool-down steady tail.
+  static Scenario production_day(std::uint64_t seed) {
+    using namespace sim;
+    Scenario s;
+    s.seed = seed;
+    s.phases = {
+        {.kind = PhaseKind::kWarmup, .duration = 2000 * kMillisecond},
+        {.kind = PhaseKind::kSteady, .duration = 6000 * kMillisecond},
+        {.kind = PhaseKind::kFlash, .duration = 4000 * kMillisecond,
+         .hot_fraction = 0.4, .hot_prefix = 0},
+        {.kind = PhaseKind::kChurn, .duration = 6000 * kMillisecond},
+        {.kind = PhaseKind::kSteady, .duration = 4000 * kMillisecond},
+    };
+    return s;
+  }
+};
+
+}  // namespace v::wload
